@@ -1,0 +1,95 @@
+"""Shared, memoized computation for the benchmark harness.
+
+Several figures reuse the same per-app evaluations (Fig 10/16/19/20/21
+all need the standard scheme comparison), so results are computed once
+per session and cached here.  Traces are dropped after use; only
+:class:`~repro.schemes.base.SchemeResult` objects are retained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.compare import run_schemes
+from repro.core.whirlpool import WhirlpoolScheme
+from repro.core.whirltool import (
+    WhirlToolAnalyzer,
+    WhirlToolClassifier,
+    WhirlToolProfiler,
+)
+from repro.nuca import four_core_config, sixteen_core_config
+from repro.schemes.base import SchemeResult
+from repro.sim import simulate
+from repro.workloads import build_workload
+
+CFG4 = four_core_config()
+CFG16 = sixteen_core_config()
+
+
+@dataclass
+class AppResults:
+    """Everything the single-threaded figures need for one app."""
+
+    app: str
+    schemes: dict[str, SchemeResult]
+    whirltool: dict[int, SchemeResult] = field(default_factory=dict)
+    manual: SchemeResult | None = None
+    manual_pools: int | None = None
+
+
+_APP_CACHE: dict[str, AppResults] = {}
+_CLUSTER_CACHE: dict[tuple[str, str, int], object] = {}
+
+
+def clustering_for(app: str, train_scale: str = "train", seed: int = 0):
+    """Train WhirlTool's clustering once per (app, scale)."""
+    key = (app, train_scale, seed)
+    if key not in _CLUSTER_CACHE:
+        workload = build_workload(app, scale=train_scale, seed=seed)
+        profile = WhirlToolProfiler().profile(workload)
+        _CLUSTER_CACHE[key] = WhirlToolAnalyzer().cluster(profile)
+    return _CLUSTER_CACHE[key]
+
+
+def app_results(app: str, pool_counts: tuple[int, ...] = (2, 3, 4)) -> AppResults:
+    """Standard 6-scheme comparison + WhirlTool pool sweep for one app."""
+    if app in _APP_CACHE:
+        return _APP_CACHE[app]
+    workload = build_workload(app, scale="ref", seed=0)
+    clustering = clustering_for(app)
+    wt3 = WhirlToolClassifier(clustering, n_pools=3)
+    schemes = run_schemes(
+        workload, CFG4, whirlpool_classifier=wt3
+    )
+    wt_results = {3: schemes["Whirlpool"]}
+    for k in pool_counts:
+        if k == 3:
+            continue
+        cls = WhirlToolClassifier(clustering, n_pools=k)
+        wt_results[k] = simulate(
+            workload,
+            CFG4,
+            lambda c, v: WhirlpoolScheme(c, v),
+            classifier=cls,
+        )
+    manual = None
+    manual_pools = None
+    if workload.manual_pools:
+        from repro.schemes import ManualPoolClassifier
+
+        manual = simulate(
+            workload,
+            CFG4,
+            lambda c, v: WhirlpoolScheme(c, v),
+            classifier=ManualPoolClassifier(),
+        )
+        manual_pools = len(set(workload.manual_pools.values()))
+    result = AppResults(
+        app=app,
+        schemes=schemes,
+        whirltool=wt_results,
+        manual=manual,
+        manual_pools=manual_pools,
+    )
+    _APP_CACHE[app] = result
+    return result

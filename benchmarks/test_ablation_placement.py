@@ -1,0 +1,72 @@
+"""Ablation: trading placement vs greedy-only (Sec 2.4).
+
+With a single program the greedy pass is already optimal (all VCs share
+one core), so the interesting case is a multiprogrammed mix where cores
+compete for central banks: trading reduces total data movement.
+"""
+
+import zlib
+
+from _suite import CFG4
+from conftest import once
+
+from repro.analysis import format_table
+from repro.core.whirlpool import WhirlpoolScheme
+from repro.core.whirltool import train_whirltool
+from repro.sim import simulate_mix
+from repro.workloads import build_workload
+
+MIX = ["sphinx3", "omnet", "astar", "soplex"]
+
+
+def test_ablation_placement(benchmark, report):
+    def run():
+        apps = [
+            build_workload(n, scale="train", seed=zlib.crc32(n.encode()) % 97)
+            for n in MIX
+        ]
+        classifiers = [train_whirltool(n, n_pools=3) for n in MIX]
+        trading = simulate_mix(
+            apps,
+            CFG4,
+            lambda c, v: WhirlpoolScheme(c, v),
+            classifiers=classifiers,
+            n_intervals=8,
+        )
+        greedy = simulate_mix(
+            apps,
+            CFG4,
+            lambda c, v: WhirlpoolScheme(c, v, trading=False),
+            classifiers=classifiers,
+            n_intervals=8,
+        )
+        return trading, greedy
+
+    trading, greedy = once(benchmark, run)
+    rows = []
+    for app, rt, rg in zip(MIX, trading.per_app, greedy.per_app):
+        rows.append(
+            [
+                app,
+                round(rt.ipc, 4),
+                round(rg.ipc, 4),
+                round(rt.energy.network, 1),
+                round(rg.energy.network, 1),
+            ]
+        )
+    report(
+        "ablation_placement",
+        format_table(
+            [
+                "app",
+                "IPC (trading)",
+                "IPC (greedy)",
+                "net nJ (trading)",
+                "net nJ (greedy)",
+            ],
+            rows,
+        ),
+    )
+    # Trading never loses throughput or network energy overall.
+    assert sum(trading.ipcs()) >= sum(greedy.ipcs()) * 0.999
+    assert trading.energy.network <= greedy.energy.network * 1.001

@@ -1,0 +1,44 @@
+"""Fig 2: dt's working set and access-pattern breakdown.
+
+Paper: dt has a 6 MB working set in three structures — points (0.5 MB),
+vertices (1.5 MB), triangles (4 MB) — with accesses split roughly evenly
+(~25 APKI total), so access *intensity* differs by ~8x between points
+and triangles.
+"""
+
+from conftest import once
+
+from repro.analysis import format_table
+from repro.workloads import build_workload
+
+_MB = 1 << 20
+
+
+def test_fig02_dt_breakdown(benchmark, report):
+    def run():
+        w = build_workload("delaunay", scale="ref", seed=0)
+        fp = w.trace.region_footprint_bytes()
+        apki = w.trace.region_apki()
+        rows = []
+        for rid in sorted(fp, key=lambda r: fp[r]):
+            name = w.region_names[rid]
+            mb = fp[rid] / _MB
+            intensity = apki[rid] / mb
+            rows.append([name, mb, apki[rid], intensity])
+        return rows
+
+    rows = once(benchmark, run)
+    report(
+        "fig02_dt_breakdown",
+        format_table(
+            ["structure", "working set (MB)", "APKI", "APKI/MB"], rows
+        ),
+    )
+    by_name = {r[0]: r for r in rows}
+    # Fig 2 shapes: 0.5 / 1.5 / 4 MB, ~even APKI split, ~8x intensity gap.
+    assert 0.3 < by_name["points"][1] < 0.7
+    assert 1.0 < by_name["vertices"][1] < 2.0
+    assert 3.0 < by_name["triangles"][1] < 5.0
+    total_ws = sum(r[1] for r in rows)
+    assert 5.0 < total_ws < 7.0  # ~6 MB, fits the 12.5 MB LLC
+    assert by_name["points"][3] > 5 * by_name["triangles"][3]

@@ -1,0 +1,70 @@
+"""Figs 3-5: where S-NUCA, Jigsaw, and Whirlpool place dt's data.
+
+S-NUCA spreads the working set over all 25 banks; Jigsaw packs it into
+the banks closest to the core but cannot tell structures apart;
+Whirlpool additionally places the most intensely accessed pool (points)
+closest, then vertices, then triangles.
+"""
+
+import numpy as np
+from conftest import once
+
+from repro.analysis import placement_map
+from repro.nuca.geometry import Placement
+from repro.schemes import JigsawScheme, ManualPoolClassifier
+from repro.sim import simulate
+from repro.workloads import build_workload
+
+
+def test_fig05_dt_placement(benchmark, report, cfg4):
+    def run():
+        w = build_workload("delaunay", scale="ref", seed=0)
+        geo = cfg4.geometry
+
+        # Fig 3: S-NUCA spreads everything across every bank.
+        snuca = Placement(
+            {b: cfg4.geometry.bank_bytes * 0.5 for b in range(geo.n_banks)}
+        )
+
+        # Fig 4: Jigsaw packs one undifferentiated VC near the core.
+        jig = simulate(w, cfg4, JigsawScheme)
+        jig_last = jig.history[-1]
+        jig_place = geo.closest_placement(0, jig_last.vc_sizes[0])
+
+        # Fig 5: Whirlpool's per-pool placement, captured from the
+        # scheme's actual last-interval decision.
+        captured = {}
+        class Capturing(JigsawScheme):
+            def decide(self, curves):
+                alloc = super().decide(curves)
+                captured.clear()
+                for vc, a in alloc.items():
+                    if a.placement is not None:
+                        captured[self.vcs[vc].name] = a.placement
+                return alloc
+
+        simulate(w, cfg4, Capturing, classifier=ManualPoolClassifier())
+        return snuca, jig_place, captured, jig_last.vc_sizes[0]
+
+    snuca, jig_place, whirl_places, jig_size = once(benchmark, run)
+    geo = cfg4.geometry
+    text = "\n".join(
+        [
+            "Fig 3 (S-NUCA): data hashed over every bank",
+            placement_map(geo, {"data": snuca}, core=0),
+            "",
+            f"Fig 4 (Jigsaw): one VC of {jig_size / 2**20:.1f} MB near the core",
+            placement_map(geo, {"process": jig_place}, core=0),
+            "",
+            "Fig 5 (Whirlpool): points nearest, vertices next, triangles after",
+            placement_map(geo, whirl_places, core=0),
+        ]
+    )
+    report("fig05_dt_placement", text)
+    # Whirlpool orders pools by intensity: points closest.
+    d = geo.distances(0)
+    hops = {name: p.avg_hops(d) for name, p in whirl_places.items()}
+    assert hops["points"] <= hops["vertices"] <= hops["triangles"]
+    # Jigsaw leaves far banks unused (uses about half the cache).
+    assert jig_size < 0.7 * cfg4.llc_bytes
+    assert np.isfinite(jig_size)

@@ -1,0 +1,72 @@
+"""Fig 8: dt's per-pool miss-rate and latency curves, and chosen VC sizes.
+
+The full working set fits on chip, so Whirlpool picks the sizes that
+minimize each VC's total latency (points/vertices/triangles saturate at
+their 0.5/1.5/4 MB working sets).
+"""
+
+import numpy as np
+from conftest import once
+
+from repro.analysis import format_table
+from repro.curves import latency_curve
+from repro.schemes import ManualPoolClassifier
+from repro.sim.profiling import profile_vcs
+from repro.workloads import build_workload
+
+_MB = 1 << 20
+
+
+def test_fig08_dt_curves(benchmark, report, cfg4):
+    def run():
+        w = build_workload("delaunay", scale="ref", seed=0)
+        mapping, specs = ManualPoolClassifier().classify(w)
+        curves = profile_vcs(
+            w.trace,
+            mapping,
+            chunk_bytes=cfg4.chunk_bytes,
+            n_chunks=cfg4.model_chunks,
+            n_intervals=1,
+            sample_shift=2,
+        )
+        names = {s.vc_id: s.name for s in specs}
+        sizes_mb = [0, 1, 2, 4, 6, 8, 12]
+        mpki_rows = []
+        stall_rows = []
+        chosen = {}
+        for vc, series in sorted(curves.items()):
+            curve = series[0]
+            mpki_rows.append(
+                [names[vc]] + [round(curve.mpki_at(s * _MB), 2) for s in sizes_mb]
+            )
+            stalls = latency_curve(
+                curve, cfg4.geometry.reach_fn(0), cfg4.latency_for_core(0)
+            )
+            grid = curve.sizes_bytes()
+            stall_rows.append(
+                [names[vc]]
+                + [
+                    round(float(np.interp(s * _MB, grid, stalls)), 3)
+                    for s in sizes_mb
+                ]
+            )
+            chosen[names[vc]] = float(grid[int(np.argmin(stalls))]) / _MB
+        return mpki_rows, stall_rows, chosen
+
+    mpki_rows, stall_rows, chosen = once(benchmark, run)
+    headers = ["pool"] + [f"{s}MB" for s in [0, 1, 2, 4, 6, 8, 12]]
+    text = (
+        "(a) Miss rate curves (MPKI)\n"
+        + format_table(headers, mpki_rows)
+        + "\n\n(b) Memory latency curves (data-stall CPI)\n"
+        + format_table(headers, stall_rows)
+        + "\n\nLatency-minimizing sizes (MB): "
+        + ", ".join(f"{k}={v:.1f}" for k, v in sorted(chosen.items()))
+    )
+    report("fig08_dt_curves", text)
+    # Every pool's latency optimum is near its working set, not the
+    # whole cache (Fig 8b) — the sum lands near dt's 6 MB footprint.
+    assert chosen["points"] < 1.5
+    assert chosen["vertices"] < 3.0
+    assert chosen["triangles"] < 6.5
+    assert 3.0 < sum(chosen.values()) < 9.0

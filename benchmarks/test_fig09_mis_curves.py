@@ -1,0 +1,61 @@
+"""Fig 9: mis's miss-rate and latency curves — why edges get bypassed.
+
+Vertex state caches well; edges are streaming.  With the bypass point in
+the latency curve (size 0 excludes cache access latency), the partitioner
+gives the cache to the vertex state and bypasses edges.
+"""
+
+import numpy as np
+from conftest import once
+
+from repro.analysis import format_table
+from repro.curves import latency_curve
+from repro.schemes import ManualPoolClassifier
+from repro.sim.profiling import profile_vcs
+from repro.workloads import build_workload
+
+_MB = 1 << 20
+
+
+def test_fig09_mis_curves(benchmark, report, cfg4):
+    def run():
+        w = build_workload("MIS", scale="ref", seed=0)
+        mapping, specs = ManualPoolClassifier().classify(w)
+        curves = profile_vcs(
+            w.trace,
+            mapping,
+            chunk_bytes=cfg4.chunk_bytes,
+            n_chunks=cfg4.model_chunks,
+            n_intervals=1,
+            sample_shift=3,
+        )
+        names = {s.vc_id: s.name for s in specs}
+        sizes_mb = [0, 2, 4, 6, 8, 12]
+        rows = []
+        bypass_choice = {}
+        for vc, series in sorted(curves.items()):
+            curve = series[0]
+            rows.append(
+                [names[vc]]
+                + [round(curve.mpki_at(s * _MB), 1) for s in sizes_mb]
+            )
+            stalls = latency_curve(
+                curve,
+                cfg4.geometry.reach_fn(0),
+                cfg4.latency_for_core(0),
+                bypassable=True,
+            )
+            bypass_choice[names[vc]] = int(np.argmin(stalls)) == 0
+        return rows, bypass_choice
+
+    rows, bypass_choice = once(benchmark, run)
+    headers = ["pool"] + [f"{s}MB" for s in [0, 2, 4, 6, 8, 12]]
+    text = (
+        "Miss rate curves (MPKI)\n"
+        + format_table(headers, rows)
+        + "\n\nbypass chosen (latency curve minimized at size 0): "
+        + ", ".join(f"{k}={v}" for k, v in sorted(bypass_choice.items()))
+    )
+    report("fig09_mis_curves", text)
+    assert bypass_choice["edges"]  # streaming -> bypass
+    assert not bypass_choice["flags"]  # vertex state -> cache it

@@ -1,0 +1,61 @@
+"""Fig 10: mis under the six schemes — time, energy, LLC accesses.
+
+Paper: Whirlpool improves mis by 38% over Jigsaw and cuts data-movement
+energy by 53%; IdealSPD consumes the most energy (multi-level lookups);
+Awasthi gets stuck at a small allocation and misses more.
+"""
+
+from _suite import app_results
+from conftest import once
+
+from repro.analysis import STANDARD_SCHEMES, format_table
+
+
+def scheme_table(results):
+    base = results["Jigsaw"]
+    rows = []
+    for name in STANDARD_SCHEMES:
+        r = results[name]
+        b = r.apki_breakdown()
+        e = r.energy
+        rows.append(
+            [
+                name,
+                r.cycles / base.cycles,
+                e.total / base.energy.total,
+                round(e.network / base.energy.total, 3),
+                round(e.bank / base.energy.total, 3),
+                round(e.memory / base.energy.total, 3),
+                round(b["hits"], 1),
+                round(b["misses"], 1),
+                round(b["bypasses"], 1),
+            ]
+        )
+    return format_table(
+        [
+            "scheme",
+            "exec time",
+            "energy",
+            "(net)",
+            "(bank)",
+            "(mem)",
+            "hit APKI",
+            "miss APKI",
+            "byp APKI",
+        ],
+        rows,
+    )
+
+
+def test_fig10_mis_breakdown(benchmark, report):
+    results = once(benchmark, lambda: app_results("MIS").schemes)
+    report("fig10_mis_breakdown", scheme_table(results))
+    jig = results["Jigsaw"]
+    whirl = results["Whirlpool"]
+    # Whirlpool wins on both axes and bypasses the edge pool.
+    assert whirl.cycles < jig.cycles
+    assert whirl.energy.total < jig.energy.total
+    assert whirl.bypasses > 0
+    # S-NUCA variants clearly slower (paper: ~+28%); IdealSPD worst-ish.
+    assert results["LRU"].cycles > 1.15 * whirl.cycles
+    assert results["IdealSPD"].energy.total > jig.energy.total

@@ -1,0 +1,61 @@
+"""Fig 11: refine's irregular phases and Whirlpool's adaptation.
+
+Most of the time vertices get the bulk of the cache; during bursts the
+pattern inverts (vertices stream, triangles/misc grow).  The bench
+captures Whirlpool's per-interval allocations and checks both regimes
+appear.
+"""
+
+from conftest import once
+
+from repro.analysis import format_table
+from repro.core.whirlpool import WhirlpoolScheme
+from repro.schemes import ManualPoolClassifier
+from repro.sim import simulate
+from repro.workloads import build_workload
+
+_MB = 1 << 20
+
+
+def test_fig11_refine_phases(benchmark, report, cfg4):
+    def run():
+        w = build_workload("refine", scale="ref", seed=0)
+        res = simulate(
+            w,
+            cfg4,
+            lambda c, v: WhirlpoolScheme(c, v),
+            classifier=ManualPoolClassifier(),
+            n_intervals=30,
+        )
+        mapping, specs = ManualPoolClassifier().classify(w)
+        names = {s.vc_id: s.name for s in specs}
+        series = []
+        for t, stats in enumerate(res.history):
+            row = {"t": t}
+            for vc, size in stats.vc_sizes.items():
+                row[names[vc]] = size / _MB
+            series.append(row)
+        return series
+
+    series = once(benchmark, run)
+    pools = sorted(k for k in series[0] if k != "t")
+    rows = [
+        [s["t"]] + [round(s.get(p, 0.0), 2) for p in pools] for s in series
+    ]
+    report(
+        "fig11_refine_phases",
+        format_table(["interval"] + [f"{p} (MB)" for p in pools], rows),
+    )
+    verts = [s.get("vertices", 0.0) for s in series]
+    tris = [s.get("triangles", 0.0) for s in series]
+    misc = [s.get("misc", 0.0) for s in series]
+    # Common phase: vertices get the bulk of the cache.
+    assert max(verts) > 3.0
+    common = sum(1 for v, t in zip(verts, tris) if v > t)
+    assert common >= 5
+    # Burst phase (Fig 11a): the pattern shifts — misc+triangles surge
+    # well past their steady-state allocations while vertices dip.
+    steady_other = sorted(m + t for m, t in zip(misc, tris))[len(series) // 2]
+    surge = max(m + t for m, t in zip(misc, tris))
+    assert surge > 2.0 * steady_other
+    assert min(verts[5:]) < 0.8 * max(verts)

@@ -1,0 +1,57 @@
+"""Fig 13: parallel applications on the 16-core chip.
+
+S-NUCA vs Jigsaw vs Jigsaw+PaWS vs Whirlpool+PaWS on mergesort, fft,
+delaunay, pagerank, connectedComponents, triangleCounting.
+
+Paper shapes: Jigsaw ≈ S-NUCA under conventional work stealing; PaWS
+helps Jigsaw moderately (up to 19% on pagerank); Whirlpool+PaWS wins big
+(up to 67% and 2.6x energy on connectedComponents).
+"""
+
+from conftest import once
+
+from repro.analysis import format_table
+from repro.parallel import PARALLEL_APPS, build_parallel_workload
+from repro.sim.parallel import PARALLEL_SCHEMES, evaluate_parallel
+
+
+def test_fig13_parallel(benchmark, report, cfg16):
+    def run():
+        out = {}
+        for app in sorted(PARALLEL_APPS):
+            pw = build_parallel_workload(app, scale="ref", seed=0)
+            out[app] = {
+                s: evaluate_parallel(pw, cfg16, s) for s in PARALLEL_SCHEMES
+            }
+        return out
+
+    all_results = once(benchmark, run)
+    rows = []
+    for app, results in sorted(all_results.items()):
+        base = results["snuca"]
+        row = [app]
+        for s in PARALLEL_SCHEMES:
+            r = results[s]
+            row += [
+                round(r.cycles / base.cycles, 3),
+                round(r.energy.total / base.energy.total, 3),
+            ]
+        rows.append(row)
+    headers = ["app"]
+    for s in PARALLEL_SCHEMES:
+        headers += [f"{s} time", f"{s} energy"]
+    report("fig13_parallel", format_table(headers, rows))
+
+    for app, results in all_results.items():
+        # Jigsaw ~ S-NUCA under work stealing.
+        assert 0.8 < results["jigsaw"].cycles / results["snuca"].cycles < 1.2, app
+        # Whirlpool+PaWS is the best configuration on both axes.
+        wp = results["whirlpool+paws"]
+        assert wp.cycles <= min(r.cycles for r in results.values()), app
+        assert wp.energy.total <= min(
+            r.energy.total for r in results.values()
+        ), app
+    # connectedComponents shows the largest Whirlpool gain (paper: 67%).
+    cc = all_results["connectedComponents"]
+    gain_cc = cc["jigsaw"].cycles / cc["whirlpool+paws"].cycles
+    assert gain_cc > 1.3

@@ -1,0 +1,71 @@
+"""Fig 16: WhirlTool speedup over Jigsaw with 2/3/4 pools, all 31 apps.
+
+Also overlays the manual classification's result for the 12 Table-2
+apps.  Paper findings this bench checks: several apps improve 5-15%
+(mis up to 38%); 3 pools is the sweet spot; WhirlTool matches manual
+classification on most ported apps.
+"""
+
+import numpy as np
+from _suite import app_results
+from conftest import once
+
+from repro.analysis import format_table, gmean
+from repro.workloads import ALL_APPS
+
+
+def test_fig16_whirltool_pools(benchmark, report):
+    def run():
+        rows = {}
+        for app in ALL_APPS:
+            res = app_results(app)
+            jig = res.schemes["Jigsaw"].cycles
+            rows[app] = {
+                "wt": {
+                    k: 100.0 * (jig / r.cycles - 1.0)
+                    for k, r in res.whirltool.items()
+                },
+                "manual": (
+                    100.0 * (jig / res.manual.cycles - 1.0)
+                    if res.manual
+                    else None
+                ),
+                "manual_pools": res.manual_pools,
+            }
+        return rows
+
+    data = once(benchmark, run)
+    rows = []
+    for app in ALL_APPS:
+        d = data[app]
+        manual = (
+            f"{d['manual']:+.1f}% ({d['manual_pools']}p)"
+            if d["manual"] is not None
+            else "-"
+        )
+        rows.append(
+            [app]
+            + [f"{d['wt'][k]:+.1f}%" for k in (2, 3, 4)]
+            + [manual]
+        )
+    text = format_table(
+        ["app", "2 pools", "3 pools", "4 pools", "manual"], rows
+    )
+    speedups3 = [1.0 + data[a]["wt"][3] / 100.0 for a in ALL_APPS]
+    text += f"\n\ngmean speedup (3 pools) vs Jigsaw: {gmean(speedups3):.3f}"
+    report("fig16_whirltool_pools", text)
+
+    # Paper shapes:
+    best3 = max(data[a]["wt"][3] for a in ALL_APPS)
+    assert best3 > 10.0  # several apps gain >10% (mis largest)
+    assert gmean(speedups3) > 1.0  # positive on average
+    # 4 pools adds little over 3 pools on average.
+    s4 = gmean([1.0 + data[a]["wt"][4] / 100.0 for a in ALL_APPS])
+    assert abs(s4 - gmean(speedups3)) < 0.05
+    # WhirlTool roughly matches manual classification where it exists.
+    diffs = [
+        data[a]["wt"][3] - data[a]["manual"]
+        for a in ALL_APPS
+        if data[a]["manual"] is not None
+    ]
+    assert np.mean(diffs) > -4.0  # not systematically worse than manual

@@ -1,0 +1,57 @@
+"""Fig 18: WhirlTool's sensitivity to training inputs.
+
+For most apps, training on the small inputs matches training on the full
+inputs; leslie, omnet, xalanc, and setCover change access patterns
+between inputs and lose a few percent with small-input training.
+"""
+
+from _suite import CFG4
+from conftest import once
+
+from repro.analysis import format_table
+from repro.core.whirlpool import WhirlpoolScheme
+from repro.core.whirltool import train_whirltool
+from repro.schemes import JigsawScheme
+from repro.sim import simulate
+from repro.workloads import build_workload
+
+SENSITIVE_APPS = ["leslie", "omnet", "xalanc", "setCover"]
+STABLE_APPS = ["mcf", "sphinx3"]
+
+
+def test_fig18_training_inputs(benchmark, report):
+    def run():
+        out = {}
+        for app in SENSITIVE_APPS + STABLE_APPS:
+            w = build_workload(app, scale="ref", seed=0)
+            jig = simulate(w, CFG4, JigsawScheme)
+            speeds = {}
+            for train_scale in ("train", "ref"):
+                cls = train_whirltool(app, n_pools=3, train_scale=train_scale)
+                r = simulate(
+                    w,
+                    CFG4,
+                    lambda c, v: WhirlpoolScheme(c, v),
+                    classifier=cls,
+                )
+                speeds[train_scale] = 100.0 * (jig.cycles / r.cycles - 1.0)
+            out[app] = speeds
+        return out
+
+    data = once(benchmark, run)
+    rows = [
+        [app, f"{d['train']:+.1f}%", f"{d['ref']:+.1f}%"]
+        for app, d in data.items()
+    ]
+    report(
+        "fig18_training_inputs",
+        format_table(
+            ["app", "profile train/small", "profile ref/large"], rows
+        ),
+    )
+    # Training on the evaluation inputs never does meaningfully worse.
+    for app, d in data.items():
+        assert d["ref"] >= d["train"] - 1.5, app
+    # Overall the tool stays robust: small average gap.
+    gaps = [d["ref"] - d["train"] for d in data.values()]
+    assert sum(gaps) / len(gaps) < 8.0

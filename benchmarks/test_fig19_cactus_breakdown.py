@@ -1,0 +1,22 @@
+"""Fig 19: cactus under the six schemes.
+
+cactus has two regions, only one with reuse.  Whirlpool caches the Pugh
+variables near the core and bypasses the leapfrog grid, cutting network
+traffic over Jigsaw (paper: -42% energy, +8.6% performance).
+"""
+
+from _suite import app_results
+from conftest import once
+from test_fig10_mis_breakdown import scheme_table
+
+
+def test_fig19_cactus_breakdown(benchmark, report):
+    results = once(benchmark, lambda: app_results("cactus").schemes)
+    report("fig19_cactus_breakdown", scheme_table(results))
+    jig = results["Jigsaw"]
+    whirl = results["Whirlpool"]
+    assert whirl.cycles < jig.cycles
+    assert whirl.energy.total < jig.energy.total
+    # The win comes from bypassing the grid: less network energy.
+    assert whirl.energy.network < jig.energy.network
+    assert whirl.bypasses > 0

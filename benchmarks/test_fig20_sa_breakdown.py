@@ -1,0 +1,21 @@
+"""Fig 20: SA under the six schemes.
+
+SA contrasts with cactus: rather than using fewer banks, Whirlpool uses
+*more* banks to retain more of the working set and cut memory accesses
+(paper: -15% energy, +7.3% performance, higher network energy share).
+"""
+
+from _suite import app_results
+from conftest import once
+from test_fig10_mis_breakdown import scheme_table
+
+
+def test_fig20_sa_breakdown(benchmark, report):
+    results = once(benchmark, lambda: app_results("SA").schemes)
+    report("fig20_sa_breakdown", scheme_table(results))
+    jig = results["Jigsaw"]
+    whirl = results["Whirlpool"]
+    assert whirl.cycles <= jig.cycles * 1.01
+    # Whirlpool trades misses for capacity: memory energy never rises
+    # above Jigsaw's.
+    assert whirl.energy.memory <= jig.energy.memory * 1.02

@@ -1,0 +1,75 @@
+"""Fig 21: overall single-threaded results across all 31 benchmarks.
+
+Paper numbers: Whirlpool improves performance by 3.9% gmean over Jigsaw
+and cuts data-movement energy 8%; S-NUCA/LRU costs 51% more energy and
+15% performance vs Whirlpool; IdealSPD 54%/18%; Awasthi 40%/15%;
+DRRIP 50%/14%.
+"""
+
+from _suite import app_results
+from conftest import once
+
+from repro.analysis import STANDARD_SCHEMES, format_table, gmean
+from repro.workloads import ALL_APPS
+
+
+def test_fig21_overall_single(benchmark, report):
+    def run():
+        per_app = {}
+        for app in ALL_APPS:
+            res = app_results(app)
+            per_app[app] = res.schemes
+        return per_app
+
+    per_app = once(benchmark, run)
+    # Gmean slowdown vs Whirlpool, energy vs Whirlpool, APKI breakdowns.
+    rows = []
+    summary = {}
+    for scheme in STANDARD_SCHEMES:
+        slowdowns = []
+        energies = []
+        hits = misses = byps = 0.0
+        instr = 0.0
+        for app in ALL_APPS:
+            r = per_app[app][scheme]
+            w = per_app[app]["Whirlpool"]
+            slowdowns.append(r.cycles / w.cycles)
+            energies.append(r.energy.total / w.energy.total)
+            hits += r.hits
+            misses += r.misses
+            byps += r.bypasses
+            instr += r.instructions
+        k = 1000.0 / instr
+        summary[scheme] = (gmean(slowdowns), gmean(energies))
+        rows.append(
+            [
+                scheme,
+                round(100 * (gmean(slowdowns) - 1), 1),
+                round(gmean(energies), 3),
+                round(hits * k, 1),
+                round(misses * k, 1),
+                round(byps * k, 1),
+            ]
+        )
+    text = format_table(
+        [
+            "scheme",
+            "gmean slowdown vs W (%)",
+            "energy vs W",
+            "hit APKI",
+            "miss APKI",
+            "byp APKI",
+        ],
+        rows,
+    )
+    report("fig21_overall_single", text)
+
+    # Paper shapes (ordering, not absolute magnitudes):
+    assert summary["Whirlpool"] == (1.0, 1.0)
+    for other in ("LRU", "DRRIP", "IdealSPD", "Awasthi", "Jigsaw"):
+        slow, energy = summary[other]
+        assert slow >= 0.995, other  # Whirlpool fastest on average
+        assert energy >= 0.98, other  # and most energy-efficient
+    # The monolithic/S-NUCA baselines lose clearly; Jigsaw is closest.
+    assert summary["LRU"][0] > summary["Jigsaw"][0]
+    assert summary["LRU"][1] > 1.15

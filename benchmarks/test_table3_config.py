@@ -1,0 +1,31 @@
+"""Table 3: configuration of the simulated CMPs."""
+
+from conftest import once
+
+from repro.analysis import format_table
+from repro.nuca import four_core_config, sixteen_core_config
+
+
+def test_table3_config(benchmark, report):
+    def run():
+        return four_core_config(), sixteen_core_config()
+
+    cfg4, cfg16 = once(benchmark, run)
+    sections = []
+    for cfg in (cfg4, cfg16):
+        rows = [[k, v] for k, v in cfg.describe().items()]
+        sections.append(f"--- {cfg.name} ---\n" + format_table(["", ""], rows))
+    report("table3_config", "\n\n".join(sections))
+
+    # Table 3 invariants.
+    assert cfg4.geometry.dim == 5 and cfg4.n_cores == 4
+    assert cfg16.geometry.dim == 9 and cfg16.n_cores == 16
+    assert cfg4.geometry.bank_bytes == 512 * 1024
+    assert cfg4.latency.bank_latency == 9
+    assert cfg4.latency.mem_latency == 120
+    assert cfg4.line_bytes == 64
+    assert len(cfg4.geometry.mcu_entries) == 1
+    assert len(cfg16.geometry.mcu_entries) == 4
+    # Per-core LLC shares: ~3.1 and ~2.5 MB/core.
+    assert abs(cfg4.llc_bytes / cfg4.n_cores / 2**20 - 3.125) < 0.01
+    assert abs(cfg16.llc_bytes / cfg16.n_cores / 2**20 - 2.53) < 0.05

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""WhirlTool end to end: profile, cluster, classify, evaluate.
+
+Reproduces the Sec-4 pipeline on mis (maximal independent set):
+
+1. profile a *training* run per allocation callpoint,
+2. agglomeratively cluster callpoints into pools using the
+   combined-vs-partitioned miss-curve distance (Fig 15),
+3. apply the trained classifier to the *full-size* run, and
+4. compare against plain Jigsaw and the hand classification.
+
+Run:  python examples/automatic_classification.py
+"""
+
+from repro.analysis import format_table
+from repro.core.whirlpool import WhirlpoolScheme
+from repro.core.whirltool import (
+    WhirlToolAnalyzer,
+    WhirlToolClassifier,
+    WhirlToolProfiler,
+)
+from repro.nuca import four_core_config
+from repro.schemes import JigsawScheme, ManualPoolClassifier
+from repro.sim import simulate
+from repro.workloads import build_workload
+
+
+def main() -> None:
+    config = four_core_config()
+
+    # --- WhirlTool profiler (Sec 4.1): train on the small input. -------
+    train = build_workload("MIS", scale="train", seed=0)
+    profile = WhirlToolProfiler(n_intervals=8).profile(train)
+    print("profiled callpoints (training run):")
+    for cp in profile.callpoints:
+        print(
+            f"  {profile.names[cp]:10s} id={cp:<12d} "
+            f"accesses={profile.total_accesses(cp):,.0f}"
+        )
+
+    # --- WhirlTool analyzer (Sec 4.2): cluster into pools. -------------
+    clustering = WhirlToolAnalyzer().cluster(profile)
+    print("\nmerge tree (Fig 17 style — distance, clusters):")
+    print(clustering.dendrogram_text())
+    assignments = clustering.assignments(2)
+    print("\n2-pool cut:")
+    for cp, pool in sorted(assignments.items(), key=lambda kv: kv[1]):
+        print(f"  pool {pool}: {profile.names[cp]}")
+
+    # --- WhirlTool runtime (Sec 4.3): evaluate on the ref input. -------
+    ref = build_workload("MIS", scale="ref", seed=0)
+    jigsaw = simulate(ref, config, JigsawScheme)
+    rows = [["Jigsaw", 1.0, 1.0]]
+    for label, classifier in [
+        ("Whirlpool (WhirlTool, 2 pools)", WhirlToolClassifier(clustering, 2)),
+        ("Whirlpool (WhirlTool, 3 pools)", WhirlToolClassifier(clustering, 3)),
+        ("Whirlpool (manual, Table 2)", ManualPoolClassifier()),
+    ]:
+        r = simulate(
+            ref,
+            config,
+            lambda c, v: WhirlpoolScheme(c, v),
+            classifier=classifier,
+        )
+        rows.append(
+            [
+                label,
+                jigsaw.cycles / r.cycles,
+                jigsaw.energy.total / r.energy.total,
+            ]
+        )
+    print()
+    print(format_table(["configuration", "speedup", "energy gain"], rows))
+    print(
+        "\n(the paper reports +38% performance and -53% data-movement "
+        "energy for mis; WhirlTool should match the manual port)"
+    )
+
+
+if __name__ == "__main__":
+    main()

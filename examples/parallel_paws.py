@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Parallel applications with PaWS on the 16-core chip (Sec 3.4, Fig 13).
+
+Runs connectedComponents (the paper's biggest winner: +67% performance,
+2.6x less data-movement energy) under all four configurations and shows
+how task-to-home-core affinity drives the result.
+
+Run:  python examples/parallel_paws.py
+"""
+
+from repro.analysis import format_table
+from repro.nuca import sixteen_core_config
+from repro.parallel import build_parallel_workload, schedule_tasks
+from repro.sim.parallel import PARALLEL_SCHEMES, evaluate_parallel
+
+
+def affinity(workload, schedule) -> float:
+    """Fraction of tasks that ran on their data's home core."""
+    hits = sum(
+        1
+        for tid, core in enumerate(schedule.assignment)
+        if core == workload.tasks[tid].home
+    )
+    return hits / len(workload.tasks)
+
+
+def main() -> None:
+    config = sixteen_core_config()
+    workload = build_parallel_workload("connectedComponents", scale="ref", seed=0)
+    print(
+        f"connectedComponents: {len(workload.tasks)} tasks over "
+        f"{workload.n_partitions} partitions, "
+        f"{workload.total_accesses:,} accesses"
+    )
+
+    # Scheduling alone: conventional work stealing scatters tasks;
+    # PaWS keeps them home.
+    ws = schedule_tasks(workload, 16, policy="ws", seed=0)
+    paws = schedule_tasks(
+        workload, 16, policy="paws", geometry=config.geometry, seed=0
+    )
+    print(
+        f"\ntask/home affinity: work-stealing {affinity(workload, ws):.0%}, "
+        f"PaWS {affinity(workload, paws):.0%} "
+        f"(imbalance {ws.imbalance:.2f} vs {paws.imbalance:.2f})"
+    )
+
+    # Full evaluation (Fig 13e).
+    results = {s: evaluate_parallel(workload, config, s) for s in PARALLEL_SCHEMES}
+    base = results["snuca"]
+    rows = []
+    for scheme in PARALLEL_SCHEMES:
+        r = results[scheme]
+        rows.append(
+            [
+                scheme,
+                r.cycles / base.cycles,
+                r.energy.total / base.energy.total,
+                round(r.misses / max(r.llc_accesses, 1), 3),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["configuration", "exec time (vs S-NUCA)", "energy (vs S-NUCA)", "miss ratio"],
+            rows,
+        )
+    )
+    gain = results["jigsaw"].cycles / results["whirlpool+paws"].cycles
+    energy_gain = (
+        results["jigsaw"].energy.total
+        / results["whirlpool+paws"].energy.total
+    )
+    print(
+        f"\nWhirlpool+PaWS vs Jigsaw: {100 * (gain - 1):.0f}% faster, "
+        f"{energy_gain:.1f}x less data-movement energy "
+        "(paper: 67% and 2.6x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

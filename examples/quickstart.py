@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Quickstart: run one benchmark under Jigsaw and Whirlpool.
+
+Builds the paper's dt (Delaunay triangulation) workload, simulates it on
+the 4-core / 5x5-bank chip of Fig 1 under S-NUCA, Jigsaw, and Whirlpool
+(with the Table-2 manual pools), and prints the Fig-3/4/5-style placement
+plus the headline comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import format_table, placement_map
+from repro.nuca import four_core_config
+from repro.core.whirlpool import WhirlpoolScheme
+from repro.schemes import JigsawScheme, ManualPoolClassifier, SNUCAScheme
+from repro.sim import simulate
+from repro.workloads import build_workload
+
+
+def main() -> None:
+    config = four_core_config()
+    print(f"chip: {config.name}, LLC {config.llc_bytes / 2**20:.1f} MB")
+
+    # 1. Build the workload.  dt allocates points / vertices / triangles
+    #    from separate pools (Table 2).
+    workload = build_workload("delaunay", scale="ref", seed=0)
+    footprint = workload.trace.region_footprint_bytes()
+    print(f"\ndt: {len(workload.trace):,} LLC accesses, pools:")
+    for rid, nbytes in sorted(footprint.items(), key=lambda kv: kv[1]):
+        print(
+            f"  {workload.region_names[rid]:10s} {nbytes / 2**20:5.2f} MB"
+        )
+
+    # 2. Simulate under three schemes.
+    snuca = simulate(workload, config, lambda c, v: SNUCAScheme(c, v, "lru"))
+    jigsaw = simulate(workload, config, JigsawScheme)
+    whirlpool = simulate(
+        workload,
+        config,
+        lambda c, v: WhirlpoolScheme(c, v),
+        classifier=ManualPoolClassifier(),
+    )
+
+    # 3. Compare (normalized to Jigsaw, like the paper's figures).
+    rows = []
+    for result in (snuca, jigsaw, whirlpool):
+        rows.append(
+            [
+                result.name,
+                result.cycles / jigsaw.cycles,
+                result.energy.total / jigsaw.energy.total,
+                round(result.data_stall_cpi, 3),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["scheme", "exec time (vs Jigsaw)", "energy (vs Jigsaw)", "stall CPI"],
+            rows,
+        )
+    )
+
+    # 4. Show where Whirlpool placed each pool (Fig 5).
+    captured = {}
+
+    class Capturing(WhirlpoolScheme):
+        def decide(self, curves):
+            alloc = super().decide(curves)
+            captured.clear()
+            for vc, a in alloc.items():
+                if a.placement is not None:
+                    captured[self.vcs[vc].name] = a.placement
+            return alloc
+
+    simulate(workload, config, Capturing, classifier=ManualPoolClassifier())
+    print("\nWhirlpool's placement (core at *):")
+    print(placement_map(config.geometry, captured, core=0))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""repro: a reproduction of Whirlpool (ASPLOS 2016).
+
+Whirlpool combines *static data classification* (grouping program data into
+memory pools) with *dynamic cache management* (Jigsaw-style virtual caches
+that are periodically re-sized and re-placed across NUCA banks).
+
+Public API highlights
+---------------------
+- :mod:`repro.curves` — miss-rate curves, stack-distance profiling, the
+  Appendix-B combined-curve model, and capacity partitioning.
+- :mod:`repro.nuca` — mesh geometry, bank/NoC/memory latency and energy
+  models, and the Table-3 system configurations.
+- :mod:`repro.mem` — paged virtual address space and the pool allocator
+  (``pool_create`` / ``pool_malloc``).
+- :mod:`repro.workloads` — instrumented synthetic SPEC CPU2006 and PBBS
+  workloads that emit LLC access traces.
+- :mod:`repro.schemes` — S-NUCA (LRU/DRRIP), IdealSPD, Awasthi, Jigsaw.
+- :mod:`repro.core` — the Whirlpool scheme and the WhirlTool automatic
+  classifier (profiler / analyzer / runtime).
+- :mod:`repro.parallel` — work-stealing and PaWS task-parallel runtimes.
+- :mod:`repro.sim` — trace-driven simulation drivers and metrics.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,88 @@
+"""Run a workload under the paper's full scheme comparison set.
+
+The six bars of Figs 10/19/20/21: S-NUCA LRU, S-NUCA DRRIP, IdealSPD,
+Awasthi, Jigsaw, Whirlpool.  Whirlpool uses the manual classification
+when the app was ported (Table 2) and WhirlTool otherwise — matching how
+the paper evaluates "Whirlpool" across the whole suite.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.whirlpool import WhirlpoolScheme
+from repro.core.whirltool import train_whirltool
+from repro.nuca.config import SystemConfig
+from repro.schemes import (
+    AwasthiScheme,
+    IdealSPDScheme,
+    JigsawScheme,
+    ManualPoolClassifier,
+    SNUCAScheme,
+)
+from repro.schemes.base import SchemeResult
+from repro.sim.driver import simulate
+from repro.workloads.trace import Workload
+
+__all__ = ["STANDARD_SCHEMES", "run_schemes"]
+
+#: Scheme display order of the paper's breakdown figures.
+STANDARD_SCHEMES = ["LRU", "DRRIP", "IdealSPD", "Awasthi", "Jigsaw", "Whirlpool"]
+
+
+def run_schemes(
+    workload: Workload,
+    config: SystemConfig,
+    schemes: list[str] | None = None,
+    whirlpool_classifier=None,
+    whirltool_pools: int = 3,
+    train_scale: str = "train",
+    seed: int = 0,
+    bypass: bool = True,
+) -> dict[str, SchemeResult]:
+    """Evaluate one workload under the requested schemes.
+
+    Args:
+        workload: the program (its name must be in the registry when
+            WhirlTool training is needed).
+        config: chip configuration.
+        schemes: subset of :data:`STANDARD_SCHEMES` (default: all).
+        whirlpool_classifier: override Whirlpool's classifier (e.g. a
+            pre-trained WhirlTool classifier, or ManualPoolClassifier).
+        whirltool_pools: pools for the WhirlTool fallback.
+        train_scale: WhirlTool training inputs.
+        seed: training workload seed.
+        bypass: enable bypassing for Jigsaw and Whirlpool.
+    """
+    if schemes is None:
+        schemes = list(STANDARD_SCHEMES)
+    factories: dict[str, Callable] = {
+        "LRU": lambda c, v: SNUCAScheme(c, v, "lru"),
+        "DRRIP": lambda c, v: SNUCAScheme(c, v, "drrip"),
+        "IdealSPD": IdealSPDScheme,
+        "Awasthi": AwasthiScheme,
+        "Jigsaw": lambda c, v: JigsawScheme(c, v, bypass=bypass),
+    }
+    out: dict[str, SchemeResult] = {}
+    for name in schemes:
+        if name == "Whirlpool":
+            classifier = whirlpool_classifier
+            if classifier is None:
+                if workload.manual_pools:
+                    classifier = ManualPoolClassifier()
+                else:
+                    classifier = train_whirltool(
+                        workload.name,
+                        n_pools=whirltool_pools,
+                        train_scale=train_scale,
+                        seed=seed,
+                    )
+            out[name] = simulate(
+                workload,
+                config,
+                lambda c, v: WhirlpoolScheme(c, v, bypass=bypass),
+                classifier=classifier,
+            )
+        else:
+            out[name] = simulate(workload, config, factories[name])
+    return out

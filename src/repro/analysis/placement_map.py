@@ -1,0 +1,67 @@
+"""ASCII placement maps (the Figs 3-5 visualization).
+
+Renders the bank mesh with one cell per bank showing which VC occupies
+(the majority of) it — the textual analogue of the paper's colored
+placement figures.
+"""
+
+from __future__ import annotations
+
+from repro.nuca.geometry import MeshGeometry, Placement
+
+__all__ = ["placement_map"]
+
+#: Symbols assigned to VCs in rendering order.
+_SYMBOLS = "PVTABCDEFGHIJKLMNOQRSUWXYZ"
+
+
+def placement_map(
+    geometry: MeshGeometry,
+    placements: dict[str, Placement],
+    core: int | None = None,
+) -> str:
+    """Render placements over the mesh.
+
+    Args:
+        geometry: the bank mesh.
+        placements: VC name -> placement.  Within a bank, the VC holding
+            the largest share is shown; '.' marks unused banks.
+        core: optionally mark the owning core's entry tile with '*'.
+
+    Returns:
+        Multi-line string, one mesh row per line, plus a legend.
+    """
+    owner_of_bank: dict[int, str] = {}
+    share_of_bank: dict[int, float] = {}
+    symbols: dict[str, str] = {}
+    for i, name in enumerate(placements):
+        # Prefer the name's initial; fall back to the symbol pool on
+        # collision.
+        initial = (name[:1] or "?").upper()
+        if initial in symbols.values():
+            for ch in _SYMBOLS:
+                if ch not in symbols.values():
+                    initial = ch
+                    break
+        symbols[name] = initial
+    for name, placement in placements.items():
+        for bank, nbytes in placement.bank_bytes.items():
+            if nbytes > share_of_bank.get(bank, 0.0):
+                share_of_bank[bank] = nbytes
+                owner_of_bank[bank] = name
+    lines = []
+    dim = geometry.dim
+    entry = geometry.core_entries[core] if core is not None else None
+    for r in range(dim):
+        cells = []
+        for c in range(dim):
+            bank = r * dim + c
+            cell = symbols.get(owner_of_bank.get(bank, ""), ".")
+            if entry == (r, c):
+                cell += "*"
+            cells.append(cell.ljust(2))
+        lines.append(" ".join(cells))
+    legend = "   ".join(f"{sym}={name}" for name, sym in symbols.items())
+    lines.append("")
+    lines.append(f"legend: {legend}   .=unused   *=core")
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Plain-text tables and result persistence for the benchmark harness."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["format_table", "gmean", "write_result", "results_dir"]
+
+
+def results_dir() -> Path:
+    """Directory for benchmark outputs (override: $REPRO_RESULTS_DIR)."""
+    root = os.environ.get("REPRO_RESULTS_DIR")
+    if root:
+        return Path(root)
+    return Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def format_table(headers: list[str], rows: list[list]) -> str:
+    """Fixed-width text table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def gmean(values) -> float:
+    """Geometric mean."""
+    arr = np.asarray(list(values), dtype=float)
+    if len(arr) == 0:
+        raise ValueError("gmean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("gmean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist one experiment's output under benchmarks/results/."""
+    directory = results_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path

@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+- ``list-apps`` — the 31-app suite, Table-2 ports, parallel apps.
+- ``run`` — simulate one app under one or more schemes.
+- ``placement`` — ASCII placement map for an app (Figs 3-5).
+- ``whirltool`` — train WhirlTool on an app and show the clustering.
+- ``parallel`` — run a Fig-13 parallel app under all four configs.
+- ``config`` — print the Table-3 system configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import STANDARD_SCHEMES, format_table, placement_map, run_schemes
+from repro.core import TABLE2
+from repro.core.whirltool import WhirlToolAnalyzer, WhirlToolProfiler
+from repro.nuca import four_core_config, sixteen_core_config
+from repro.workloads import ALL_APPS, MANUAL_APPS, build_workload
+
+__all__ = ["main"]
+
+
+def _cmd_list_apps(args: argparse.Namespace) -> int:
+    print("single-threaded suite (Appendix A):")
+    for name in ALL_APPS:
+        port = " [Table 2]" if name in MANUAL_APPS else ""
+        print(f"  {name}{port}")
+    from repro.parallel import PARALLEL_APPS
+
+    print("\nparallel apps (Fig 13):")
+    for name in sorted(PARALLEL_APPS):
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = sixteen_core_config() if args.cores == 16 else four_core_config()
+    workload = build_workload(args.app, scale=args.scale, seed=args.seed)
+    schemes = args.schemes.split(",") if args.schemes else None
+    if schemes is not None:
+        unknown = set(schemes) - set(STANDARD_SCHEMES)
+        if unknown:
+            print(f"unknown schemes: {', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+    results = run_schemes(workload, config, schemes=schemes)
+    base = results.get("Jigsaw") or next(iter(results.values()))
+    rows = []
+    for name, r in results.items():
+        b = r.apki_breakdown()
+        rows.append(
+            [
+                name,
+                r.cycles / base.cycles,
+                r.energy.total / base.energy.total,
+                round(b["hits"], 1),
+                round(b["misses"], 1),
+                round(b["bypasses"], 1),
+            ]
+        )
+    print(f"{args.app} ({args.scale}) on {config.name}:")
+    print(
+        format_table(
+            ["scheme", "time (rel)", "energy (rel)", "hit", "miss", "byp APKI"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_placement(args: argparse.Namespace) -> int:
+    from repro.core.whirlpool import WhirlpoolScheme
+    from repro.schemes import ManualPoolClassifier
+    from repro.sim import simulate
+
+    config = four_core_config()
+    workload = build_workload(args.app, scale=args.scale, seed=args.seed)
+    if not workload.manual_pools:
+        print(f"{args.app} has no manual pools; use `whirltool`", file=sys.stderr)
+        return 2
+    captured: dict = {}
+
+    class Capturing(WhirlpoolScheme):
+        def decide(self, curves):
+            alloc = super().decide(curves)
+            captured.clear()
+            for vc, a in alloc.items():
+                if a.placement is not None:
+                    captured[self.vcs[vc].name] = a.placement
+            return alloc
+
+    simulate(workload, config, Capturing, classifier=ManualPoolClassifier())
+    print(placement_map(config.geometry, captured, core=0))
+    return 0
+
+
+def _cmd_whirltool(args: argparse.Namespace) -> int:
+    workload = build_workload(args.app, scale=args.scale, seed=args.seed)
+    profile = WhirlToolProfiler().profile(workload)
+    clustering = WhirlToolAnalyzer().cluster(profile)
+    print(f"callpoints: {len(profile.callpoints)}")
+    print("merge tree:")
+    print(clustering.dendrogram_text())
+    assignments = clustering.assignments(args.pools)
+    pools: dict = {}
+    for cp, pool in assignments.items():
+        pools.setdefault(pool, []).append(profile.names.get(cp, str(cp)))
+    print(f"\n{args.pools}-pool classification:")
+    for pool, members in sorted(pools.items()):
+        print(f"  pool {pool}: {', '.join(sorted(members))}")
+    return 0
+
+
+def _cmd_parallel(args: argparse.Namespace) -> int:
+    from repro.parallel import build_parallel_workload
+    from repro.sim.parallel import PARALLEL_SCHEMES, evaluate_parallel
+
+    config = sixteen_core_config()
+    pw = build_parallel_workload(args.app, scale=args.scale, seed=args.seed)
+    results = {s: evaluate_parallel(pw, config, s) for s in PARALLEL_SCHEMES}
+    base = results["snuca"]
+    rows = [
+        [
+            s,
+            results[s].cycles / base.cycles,
+            results[s].energy.total / base.energy.total,
+        ]
+        for s in PARALLEL_SCHEMES
+    ]
+    print(format_table(["configuration", "time (vs S-NUCA)", "energy"], rows))
+    return 0
+
+
+def _cmd_config(args: argparse.Namespace) -> int:
+    for cfg in (four_core_config(), sixteen_core_config()):
+        print(f"--- {cfg.name} ---")
+        for key, value in cfg.describe().items():
+            print(f"  {key}: {value}")
+    print("\nTable 2 (manual ports):")
+    rows = [[e.application, e.pools, e.loc] for e in TABLE2]
+    print(format_table(["application", "pools", "LOC"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Whirlpool (ASPLOS 2016) reproduction"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-apps", help="list all workloads")
+
+    p_run = sub.add_parser("run", help="simulate one app under schemes")
+    p_run.add_argument("app", choices=ALL_APPS)
+    p_run.add_argument("--scale", default="ref", choices=["train", "ref"])
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--cores", type=int, default=4, choices=[4, 16])
+    p_run.add_argument(
+        "--schemes",
+        default=None,
+        help=f"comma-separated subset of {','.join(STANDARD_SCHEMES)}",
+    )
+
+    p_place = sub.add_parser("placement", help="ASCII placement map")
+    p_place.add_argument("app", choices=MANUAL_APPS)
+    p_place.add_argument("--scale", default="ref", choices=["train", "ref"])
+    p_place.add_argument("--seed", type=int, default=0)
+
+    p_wt = sub.add_parser("whirltool", help="train + show the clustering")
+    p_wt.add_argument("app", choices=ALL_APPS)
+    p_wt.add_argument("--pools", type=int, default=3)
+    p_wt.add_argument("--scale", default="train", choices=["train", "ref"])
+    p_wt.add_argument("--seed", type=int, default=0)
+
+    p_par = sub.add_parser("parallel", help="run a Fig-13 parallel app")
+    p_par.add_argument(
+        "app",
+        choices=[
+            "mergesort",
+            "fft",
+            "delaunay",
+            "pagerank",
+            "connectedComponents",
+            "triangleCounting",
+        ],
+    )
+    p_par.add_argument("--scale", default="ref", choices=["train", "ref"])
+    p_par.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("config", help="print the Table-3 configuration")
+    return parser
+
+
+_COMMANDS = {
+    "list-apps": _cmd_list_apps,
+    "run": _cmd_run,
+    "placement": _cmd_placement,
+    "whirltool": _cmd_whirltool,
+    "parallel": _cmd_parallel,
+    "config": _cmd_config,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,35 @@
+"""Whirlpool: the paper's primary contribution.
+
+Whirlpool = static classification of data into memory pools + Jigsaw's
+dynamic per-VC policies.  The hardware side barely changes (extra VTB
+entries and monitors, Sec 3.2); the interesting machinery is the
+classification:
+
+- manual pools via the allocator API (Table 2) —
+  :class:`repro.schemes.ManualPoolClassifier` +
+  :mod:`repro.core.manual`'s Table-2 registry;
+- automatic pools via WhirlTool (Sec 4) — :mod:`repro.core.whirltool`.
+
+:class:`WhirlpoolScheme` is Jigsaw with per-pool VCs; :func:`whirlpool`
+builds the (scheme factory, classifier) pair for the simulation driver.
+"""
+
+from repro.core.manual import TABLE2, table2_rows
+from repro.core.whirlpool import WhirlpoolScheme, whirlpool
+from repro.core.whirltool import (
+    WhirlToolAnalyzer,
+    WhirlToolClassifier,
+    WhirlToolProfiler,
+    train_whirltool,
+)
+
+__all__ = [
+    "TABLE2",
+    "WhirlToolAnalyzer",
+    "WhirlToolClassifier",
+    "WhirlToolProfiler",
+    "WhirlpoolScheme",
+    "table2_rows",
+    "train_whirltool",
+    "whirlpool",
+]

@@ -1,0 +1,62 @@
+"""Table 2: the manually-ported applications.
+
+Records, for each of the 12 hand-classified applications, its pools, the
+data structures they hold, and the lines of code changed during porting.
+The actual pool tags live on the workloads themselves
+(``Workload.manual_pools``); this module is the paper-facing registry
+used by the Table-2 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TABLE2", "Table2Entry", "table2_rows"]
+
+
+@dataclass(frozen=True)
+class Table2Entry:
+    """One row of Table 2."""
+
+    application: str
+    workload: str  # registry name
+    pools: int
+    data_structures: str
+    loc: int
+
+
+#: Table 2, in the paper's row order.
+TABLE2 = [
+    Table2Entry(
+        "Breadth-first search", "BFS", 4, "Vertices, edges, frontier, visited", 16
+    ),
+    Table2Entry(
+        "Delaunay triangulation", "delaunay", 3, "Points, vertices, triangles", 11
+    ),
+    Table2Entry("Maximal matching", "matching", 3, "Vertices, edges, result", 13),
+    Table2Entry("Delaunay refinement", "refine", 3, "Vertices, triangles, misc", 8),
+    Table2Entry(
+        "Maximal independent set", "MIS", 3, "Vertices, edges, flags", 13
+    ),
+    Table2Entry(
+        "Spanning forest", "ST", 3,
+        "Union-find parents, output tree, input edges", 13,
+    ),
+    Table2Entry(
+        "Minimal spanning forest", "MST", 3,
+        "Union-find parents, output tree, input edges", 11,
+    ),
+    Table2Entry("Convex hull", "hull", 2, "Points, hull array", 10),
+    Table2Entry("401.bzip2", "bzip2", 4, "arr1, arr2, ftab, tt", 43),
+    Table2Entry("470.lbm", "lbm", 2, "Source and destination grids", 21),
+    Table2Entry("429.mcf", "mcf", 2, "Nodes and arcs", 14),
+    Table2Entry(
+        "436.cactusADM", "cactus", 2,
+        "Pugh variables, staggered-leapfrog grid data", 53,
+    ),
+]
+
+
+def table2_rows() -> list[tuple[str, int, str, int]]:
+    """(application, pools, data structures, LOC) rows, paper order."""
+    return [(e.application, e.pools, e.data_structures, e.loc) for e in TABLE2]

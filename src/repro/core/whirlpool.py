@@ -1,0 +1,77 @@
+"""The Whirlpool scheme: Jigsaw driven by pool classification (Sec 3).
+
+Mechanically, Whirlpool *is* Jigsaw with one VC per memory pool plus the
+bypass extension — the paper changes no core hardware mechanism and no
+reconfiguration algorithm.  What it adds is:
+
+- extra VTB entries and GMON monitors for the user-level VCs (Sec 3.2:
+  6 KB of VTB entries + 24 KB of monitors ≈ 0.3% of cache area on the
+  4-core chip), and
+- the pool classification feeding those VCs (manual or WhirlTool).
+"""
+
+from __future__ import annotations
+
+from repro.nuca.config import SystemConfig
+from repro.schemes.base import VCSpec
+from repro.schemes.classifiers import Classifier, ManualPoolClassifier
+from repro.schemes.jigsaw import JigsawScheme
+
+__all__ = ["WhirlpoolScheme", "whirlpool", "MAX_USER_POOLS"]
+
+#: Whirlpool supports up to 4 user pools per core (Sec 3.2).
+MAX_USER_POOLS = 4
+
+#: Hardware overhead bookkeeping (Sec 3.2, 4-core system).
+VTB_OVERHEAD_BYTES = 6 * 1024
+MONITOR_OVERHEAD_BYTES = 24 * 1024
+
+
+class WhirlpoolScheme(JigsawScheme):
+    """Jigsaw with per-pool VCs and bypassing."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        vcs: list[VCSpec],
+        bypass: bool = True,
+        **jigsaw_kwargs,
+    ) -> None:
+        # The VTB budget is per core (Sec 3.2): each core gets extra
+        # entries for up to MAX_USER_POOLS user VCs (+1 slack for the
+        # process VC's entry).
+        per_core: dict[int, int] = {}
+        for v in vcs:
+            if v.name != "process":
+                per_core[v.owner_core] = per_core.get(v.owner_core, 0) + 1
+        worst = max(per_core.values(), default=0)
+        if worst > MAX_USER_POOLS + 1:
+            raise ValueError(
+                f"{worst} pools on one core exceed the {MAX_USER_POOLS}-entry "
+                "VTB budget (Sec 3.2)"
+            )
+        super().__init__(config, vcs, bypass=bypass, **jigsaw_kwargs)
+        self.name = "Whirlpool" if bypass else "Whirlpool-NoBypass"
+
+    @property
+    def area_overhead_fraction(self) -> float:
+        """Extra VTB + monitor area relative to LLC capacity (≈0.3%)."""
+        extra = VTB_OVERHEAD_BYTES + MONITOR_OVERHEAD_BYTES
+        return extra / (self.config.llc_bytes / 100) / 100
+
+
+def whirlpool(
+    classifier: Classifier | None = None, bypass: bool = True
+):
+    """Build the (scheme factory, classifier) pair for the driver.
+
+    >>> factory, cls = whirlpool()
+    >>> # simulate(workload, config, factory, classifier=cls)
+    """
+    if classifier is None:
+        classifier = ManualPoolClassifier()
+
+    def factory(config: SystemConfig, vcs: list[VCSpec]) -> WhirlpoolScheme:
+        return WhirlpoolScheme(config, vcs, bypass=bypass)
+
+    return factory, classifier

@@ -1,0 +1,32 @@
+"""WhirlTool: automatic data classification from profiles (paper Sec 4).
+
+Three components (Fig 14):
+
+- :class:`WhirlToolProfiler` — tracks allocations by callpoint and
+  records per-callpoint miss-rate curves at regular intervals.
+- :class:`WhirlToolAnalyzer` — agglomeratively clusters callpoints into
+  pools using the combined-vs-partitioned distance metric (Fig 15).
+- :class:`WhirlToolClassifier` — the runtime: replaces the allocator's
+  callpoint -> pool mapping, sending unprofiled callpoints to the
+  process VC.
+
+:func:`train_whirltool` runs the full pipeline on a training input.
+"""
+
+from repro.core.whirltool.analyzer import (
+    ClusteringResult,
+    WhirlToolAnalyzer,
+    pool_distance,
+)
+from repro.core.whirltool.profiler import CallpointProfile, WhirlToolProfiler
+from repro.core.whirltool.runtime import WhirlToolClassifier, train_whirltool
+
+__all__ = [
+    "CallpointProfile",
+    "ClusteringResult",
+    "WhirlToolAnalyzer",
+    "WhirlToolClassifier",
+    "WhirlToolProfiler",
+    "pool_distance",
+    "train_whirltool",
+]

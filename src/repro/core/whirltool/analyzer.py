@@ -1,0 +1,136 @@
+"""WhirlTool analyzer (paper Sec 4.2).
+
+Distance metric: for each profiling interval, the distance between two
+pools is the area between their *combined* miss curve (sharing a cache,
+Appendix B model) and their *partitioned* miss curve (optimal split of
+the same capacity).  Cache-friendly pools barely interfere (small area);
+a streaming pool combined with a cache-friendly one inflates its misses
+(large area) — Fig 15.  Per-interval summation makes pools active in
+disjoint phases cheap to merge, which is what lets programs with phase
+behaviour use few pools.
+
+Clustering: plain agglomerative — start with one pool per callpoint,
+repeatedly merge the closest pair (re-estimating the merged pool's
+curves with the combine model), record the merge tree, and cut it at the
+desired pool count.  O(n^2) per merge; fine for the 10s-100s of
+callpoints real applications have.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.whirltool.profiler import CallpointProfile
+from repro.curves.combine import combine_miss_curves
+from repro.curves.miss_curve import MissCurve
+from repro.curves.partition import partitioned_miss_curve
+
+__all__ = ["WhirlToolAnalyzer", "ClusteringResult", "pool_distance"]
+
+
+def pool_distance(a: list[MissCurve], b: list[MissCurve]) -> float:
+    """Distance between two pools' per-interval curve series.
+
+    Sum over intervals of the area between the combined and partitioned
+    miss curves, normalized per instruction so intervals are comparable.
+    """
+    if len(a) != len(b):
+        raise ValueError("pools must share the interval grid")
+    total = 0.0
+    for ca, cb in zip(a, b):
+        if ca.accesses == 0 or cb.accesses == 0:
+            continue  # inactive interval: no interference
+        combined = combine_miss_curves(ca, cb)
+        partitioned = partitioned_miss_curve(ca, cb)
+        area = np.sum(combined.misses - partitioned.misses)
+        total += max(float(area), 0.0) / max(combined.instructions, 1e-12)
+    return total
+
+
+@dataclass
+class ClusteringResult:
+    """Hierarchical clustering of callpoints (Fig 17's dendrogram).
+
+    Attributes:
+        callpoints: leaf callpoint ids.
+        merges: ``(cluster_a, cluster_b, distance)`` triples in merge
+            order; clusters are frozensets of callpoint ids.
+        names: callpoint id -> region name (reporting).
+    """
+
+    callpoints: list[int]
+    merges: list[tuple[frozenset, frozenset, float]] = field(default_factory=list)
+    names: dict[int, str] = field(default_factory=dict)
+
+    def assignments(self, n_pools: int) -> dict[int, int]:
+        """Callpoint -> pool index (0-based) for ``n_pools`` clusters.
+
+        Cutting the merge tree: replay merges until ``n_pools`` clusters
+        remain.  Requesting more pools than callpoints yields one pool
+        per callpoint.
+        """
+        if n_pools < 1:
+            raise ValueError(f"n_pools must be >= 1, got {n_pools}")
+        clusters: list[set[int]] = [{cp} for cp in self.callpoints]
+        for a, b, __ in self.merges:
+            if len(clusters) <= n_pools:
+                break
+            clusters = [c for c in clusters if c != set(a) and c != set(b)]
+            clusters.append(set(a) | set(b))
+        out: dict[int, int] = {}
+        for idx, cluster in enumerate(sorted(clusters, key=min)):
+            for cp in cluster:
+                out[cp] = idx
+        return out
+
+    def dendrogram_text(self) -> str:
+        """ASCII rendering of the merge tree (Fig 17 stand-in)."""
+        lines = []
+        for a, b, dist in self.merges:
+            name = lambda cluster: "+".join(  # noqa: E731
+                sorted(self.names.get(cp, str(cp)) for cp in cluster)
+            )
+            lines.append(f"{dist:10.4g}  {name(a)}  <->  {name(b)}")
+        return "\n".join(lines)
+
+
+class WhirlToolAnalyzer:
+    """Agglomerative clustering of callpoints into pools."""
+
+    def cluster(self, profile: CallpointProfile) -> ClusteringResult:
+        """Build the full merge tree for one application's profile."""
+        pools: dict[frozenset, list[MissCurve]] = {
+            frozenset({cp}): series for cp, series in profile.curves.items()
+        }
+        result = ClusteringResult(
+            callpoints=profile.callpoints, names=dict(profile.names)
+        )
+        # Pairwise distance table, updated incrementally.
+        dist: dict[tuple[frozenset, frozenset], float] = {}
+        keys = sorted(pools, key=min)
+        for i, a in enumerate(keys):
+            for b in keys[i + 1 :]:
+                dist[(a, b)] = pool_distance(pools[a], pools[b])
+        while len(pools) > 1:
+            (a, b), d = min(dist.items(), key=lambda kv: (kv[1], sorted(map(min, kv[0]))))
+            result.merges.append((a, b, d))
+            merged_key = frozenset(a | b)
+            merged_curves = [
+                combine_miss_curves(ca, cb)
+                for ca, cb in zip(pools[a], pools[b])
+            ]
+            del pools[a]
+            del pools[b]
+            dist = {
+                pair: v
+                for pair, v in dist.items()
+                if a not in pair and b not in pair
+            }
+            for other in list(pools):
+                dist[(merged_key, other)] = pool_distance(
+                    merged_curves, pools[other]
+                )
+            pools[merged_key] = merged_curves
+        return result

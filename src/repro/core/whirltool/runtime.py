@@ -1,0 +1,91 @@
+"""WhirlTool runtime (paper Sec 4.3).
+
+Replaces the system allocator: each allocation's callpoint is looked up
+in the trained callpoint -> pool map and routed to the matching pool's
+VC.  Allocations from unprofiled callpoints fall into the thread-private
+(process) pool.  As a :class:`~repro.schemes.Classifier`, this plugs
+straight into the simulation driver in place of the manual Table-2
+classification.
+"""
+
+from __future__ import annotations
+
+from repro.core.whirltool.analyzer import ClusteringResult, WhirlToolAnalyzer
+from repro.core.whirltool.profiler import WhirlToolProfiler
+from repro.schemes.base import VCSpec
+from repro.schemes.classifiers import Classifier
+from repro.workloads.registry import build_workload
+from repro.workloads.trace import Workload
+
+__all__ = ["WhirlToolClassifier", "train_whirltool"]
+
+
+class WhirlToolClassifier(Classifier):
+    """Region -> VC classification from a trained clustering.
+
+    Args:
+        clustering: analyzer output for the application.
+        n_pools: pools to cut the merge tree at (the paper settles on 3).
+    """
+
+    name = "whirltool"
+
+    def __init__(self, clustering: ClusteringResult, n_pools: int = 3) -> None:
+        if n_pools < 1:
+            raise ValueError(f"n_pools must be >= 1, got {n_pools}")
+        self.clustering = clustering
+        self.n_pools = n_pools
+        self._pool_of_callpoint = clustering.assignments(n_pools)
+
+    def classify(
+        self, workload: Workload, owner_core: int = 0
+    ) -> tuple[dict[int, int], list[VCSpec]]:
+        # VC 0 is the process VC (unprofiled callpoints); pools follow.
+        mapping: dict[int, int] = {}
+        used_pools: set[int] = set()
+        for rid in workload.region_names:
+            pool = self._pool_of_callpoint.get(rid)
+            if pool is None:
+                mapping[rid] = 0
+            else:
+                mapping[rid] = pool + 1
+                used_pools.add(pool)
+        specs = [VCSpec(vc_id=0, name="process", owner_core=owner_core)]
+        for pool in sorted(used_pools):
+            members = [
+                self.clustering.names.get(cp, str(cp))
+                for cp, p in self._pool_of_callpoint.items()
+                if p == pool
+            ]
+            specs.append(
+                VCSpec(
+                    vc_id=pool + 1,
+                    name="|".join(sorted(members)),
+                    owner_core=owner_core,
+                )
+            )
+        used_vcs = set(mapping.values())
+        specs = [s for s in specs if s.vc_id in used_vcs]
+        return mapping, specs
+
+
+def train_whirltool(
+    app: str,
+    n_pools: int = 3,
+    train_scale: str = "train",
+    seed: int = 0,
+    profiler: WhirlToolProfiler | None = None,
+) -> WhirlToolClassifier:
+    """Full WhirlTool pipeline: profile a training run, cluster, classify.
+
+    Profiling and analysis happen once, offline (the paper runs them at
+    compile time on the train inputs); the returned classifier is then
+    applied to any input scale of the same application — callpoint ids
+    are stable across inputs.
+    """
+    workload = build_workload(app, scale=train_scale, seed=seed)
+    if profiler is None:
+        profiler = WhirlToolProfiler()
+    profile = profiler.profile(workload)
+    clustering = WhirlToolAnalyzer().cluster(profile)
+    return WhirlToolClassifier(clustering, n_pools=n_pools)

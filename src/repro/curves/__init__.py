@@ -1,0 +1,49 @@
+"""Cache modeling: miss-rate curves and the machinery built on them.
+
+This package is the analytical heart of the reproduction.  Jigsaw (and
+therefore Whirlpool) reasons about the cache exclusively through per-VC
+miss-rate curves and an additive latency model (paper Sec 2.4); WhirlTool's
+distance metric is defined through combined vs. partitioned miss curves
+(paper Sec 4.2 and Appendix B).
+
+Modules
+-------
+- :mod:`repro.curves.fenwick` — Fenwick (binary indexed) tree.
+- :mod:`repro.curves.reuse` — stack-distance (reuse-distance) profiling,
+  exact Mattson via Fenwick tree plus address-sampled approximation.
+- :mod:`repro.curves.miss_curve` — the :class:`MissCurve` container.
+- :mod:`repro.curves.combine` — Appendix B / Listing 1 combined-curve model.
+- :mod:`repro.curves.partition` — convex-hull capacity partitioning and
+  partitioned miss curves.
+- :mod:`repro.curves.latency` — end-to-end latency (data-stall CPI) curves.
+"""
+
+from repro.curves.combine import combine_miss_curves
+from repro.curves.fenwick import FenwickTree
+from repro.curves.gmon import GMON, quantize_curve
+from repro.curves.latency import LatencyModel, latency_curve
+from repro.curves.miss_curve import MissCurve
+from repro.curves.partition import (
+    partition_capacity,
+    partitioned_miss_curve,
+)
+from repro.curves.reuse import (
+    StackDistanceProfiler,
+    miss_curve_from_distances,
+    stack_distances,
+)
+
+__all__ = [
+    "FenwickTree",
+    "GMON",
+    "quantize_curve",
+    "LatencyModel",
+    "MissCurve",
+    "StackDistanceProfiler",
+    "combine_miss_curves",
+    "latency_curve",
+    "miss_curve_from_distances",
+    "partition_capacity",
+    "partitioned_miss_curve",
+    "stack_distances",
+]

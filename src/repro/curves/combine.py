@@ -1,0 +1,116 @@
+"""The Appendix-B combined miss-curve model (paper Listing 1).
+
+Estimates the miss curve of two access streams *sharing* an unpartitioned
+LRU cache from their individual miss curves, using the "flow" argument:
+lines are pushed toward LRU at a rate equal to the local miss rate, so when
+two streams merge, each stream's read head advances in proportion to its
+share of the combined flow.
+
+The model is commutative, associative (up to grid interpolation error),
+and idempotent on self-similar splits — properties exercised by the unit
+and property tests, and shown in Fig 23.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.curves.miss_curve import MissCurve
+
+__all__ = ["combine_miss_curves", "combine_many", "shared_cache_misses"]
+
+
+def _read(curve: np.ndarray, pos: float) -> float:
+    """Linearly interpolate ``curve`` at fractional index ``pos``."""
+    n = len(curve) - 1
+    if pos >= n:
+        return float(curve[n])
+    lo = int(pos)
+    frac = pos - lo
+    return float(curve[lo] * (1 - frac) + curve[lo + 1] * frac)
+
+
+def combine_miss_curves(a: MissCurve, b: MissCurve) -> MissCurve:
+    """Combined miss curve of two pools sharing one cache (Listing 1).
+
+    Both inputs must share the same grid.  The result is on the same grid;
+    sizes past the sum of the two working sets saturate at the sum of the
+    inputs' floor miss rates.
+    """
+    if a.chunk_bytes != b.chunk_bytes:
+        raise ValueError("curves must share chunk_bytes")
+    n = max(a.n_chunks, b.n_chunks)
+    m1 = a.extended(n).misses if a.n_chunks < n else a.misses
+    m2 = b.extended(n).misses if b.n_chunks < n else b.misses
+
+    # Rates must be comparable: normalize each curve to misses per
+    # instruction so pools profiled over different windows combine sanely.
+    r1 = m1 / max(a.instructions, 1e-12)
+    r2 = m2 / max(b.instructions, 1e-12)
+    instructions = max(a.instructions, b.instructions)
+
+    out = np.empty(n + 1, dtype=np.float64)
+    s1 = 0.0
+    s2 = 0.0
+    for s in range(n + 1):
+        f1 = _read(r1, s1)
+        f2 = _read(r2, s2)
+        f = f1 + f2
+        out[s] = f
+        if f > 0:
+            s1 += f1 / f
+            s2 += f2 / f
+        # If the combined flow is zero both streams have stopped missing;
+        # the read heads stay put and the curve stays at zero.
+    return MissCurve(
+        misses=out * instructions,
+        chunk_bytes=a.chunk_bytes,
+        accesses=a.accesses + b.accesses,
+        instructions=instructions,
+    )
+
+
+def shared_cache_misses(
+    curves: list[MissCurve], size_bytes: float
+) -> list[float]:
+    """Per-stream misses when sharing one LRU cache of ``size_bytes``.
+
+    K-way generalization of Listing 1: all read heads advance together,
+    each in proportion to its share of the combined flow, until the
+    shared capacity is exhausted; each stream's misses are its own curve
+    read at its final head position.
+    """
+    if not curves:
+        return []
+    chunk = curves[0].chunk_bytes
+    if any(c.chunk_bytes != chunk for c in curves):
+        raise ValueError("curves must share chunk_bytes")
+    n = max(c.n_chunks for c in curves)
+    rates = [
+        (c.extended(n).misses if c.n_chunks < n else c.misses)
+        / max(c.instructions, 1e-12)
+        for c in curves
+    ]
+    heads = [0.0] * len(curves)
+    steps = int(size_bytes // chunk)
+    for __ in range(steps):
+        flows = [_read(r, h) for r, h in zip(rates, heads)]
+        f = sum(flows)
+        if f <= 0:
+            break
+        for i, flow in enumerate(flows):
+            heads[i] += flow / f
+    return [
+        float(_read(r, h)) * c.instructions
+        for r, h, c in zip(rates, heads, curves)
+    ]
+
+
+def combine_many(curves: list[MissCurve]) -> MissCurve:
+    """Fold :func:`combine_miss_curves` over a list of curves."""
+    if not curves:
+        raise ValueError("combine_many requires at least one curve")
+    acc = curves[0]
+    for curve in curves[1:]:
+        acc = combine_miss_curves(acc, curve)
+    return acc

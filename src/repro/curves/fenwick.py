@@ -1,0 +1,65 @@
+"""Fenwick (binary indexed) tree over integer positions.
+
+Used by the exact Mattson stack-distance algorithm in
+:mod:`repro.curves.reuse`: one bit per trace position marks whether that
+position is the *most recent* access to some line, and a prefix-sum query
+counts the distinct lines touched since a previous access.
+"""
+
+from __future__ import annotations
+
+
+class FenwickTree:
+    """A Fenwick tree supporting point updates and prefix-sum queries.
+
+    Positions are 0-based and fixed at construction time.  All operations
+    are O(log n).
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        self._size = size
+        self._tree = [0] * (size + 1)
+
+    @property
+    def size(self) -> int:
+        """Number of addressable positions."""
+        return self._size
+
+    def add(self, index: int, delta: int) -> None:
+        """Add ``delta`` to the value at ``index``."""
+        if not 0 <= index < self._size:
+            raise IndexError(f"index {index} out of range [0, {self._size})")
+        i = index + 1
+        tree = self._tree
+        while i <= self._size:
+            tree[i] += delta
+            i += i & (-i)
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of values at positions ``[0, index]``.
+
+        ``index == -1`` returns 0 (the empty prefix).
+        """
+        if index >= self._size:
+            raise IndexError(f"index {index} out of range [0, {self._size})")
+        total = 0
+        i = index + 1
+        tree = self._tree
+        while i > 0:
+            total += tree[i]
+            i -= i & (-i)
+        return total
+
+    def range_sum(self, lo: int, hi: int) -> int:
+        """Sum of values at positions ``[lo, hi]`` inclusive."""
+        if lo > hi:
+            return 0
+        return self.prefix_sum(hi) - (self.prefix_sum(lo - 1) if lo > 0 else 0)
+
+    def total(self) -> int:
+        """Sum of all values in the tree."""
+        if self._size == 0:
+            return 0
+        return self.prefix_sum(self._size - 1)

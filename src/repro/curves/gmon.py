@@ -1,0 +1,64 @@
+"""GMON: hardware-fidelity utility monitors (Beckmann et al., HPCA 2015).
+
+The software profiler in :mod:`repro.curves.reuse` produces exact (or
+address-sampled) miss curves with hundreds of points.  Real Jigsaw
+hardware uses GMONs: set-sampled monitors with a limited number of
+*ways*, yielding a coarse, way-quantized miss curve.  This module models
+that fidelity loss so the monitor-resolution sensitivity can be studied
+(Whirlpool adds 24 KB of GMONs for its user VCs, Sec 3.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.curves.miss_curve import MissCurve
+
+__all__ = ["GMON", "quantize_curve"]
+
+
+def quantize_curve(curve: MissCurve, n_ways: int) -> MissCurve:
+    """Reduce a miss curve to ``n_ways`` monitor points.
+
+    The GMON observes misses only at way-granular sizes; software
+    linearly interpolates between them.  Endpoints are preserved.
+    """
+    if n_ways < 2:
+        raise ValueError(f"n_ways must be >= 2, got {n_ways}")
+    n = curve.n_chunks
+    sample_idx = np.unique(
+        np.round(np.linspace(0, n, n_ways + 1)).astype(np.int64)
+    )
+    sampled = curve.misses[sample_idx]
+    quantized = np.interp(np.arange(n + 1), sample_idx, sampled)
+    return MissCurve(
+        misses=quantized,
+        chunk_bytes=curve.chunk_bytes,
+        accesses=curve.accesses,
+        instructions=curve.instructions,
+    )
+
+
+class GMON:
+    """A bank of utility monitors with hardware-like resolution.
+
+    Wraps exact per-VC curves the way the hardware would observe them:
+    way-quantized and (optionally) set-sampled upstream.
+
+    Args:
+        n_ways: monitor ways (curve resolution).  Jigsaw's GMONs use
+            tens of ways; 64 is the default here.
+    """
+
+    def __init__(self, n_ways: int = 64) -> None:
+        if n_ways < 2:
+            raise ValueError(f"n_ways must be >= 2, got {n_ways}")
+        self.n_ways = n_ways
+
+    def observe(self, curves: dict[int, MissCurve]) -> dict[int, MissCurve]:
+        """Quantize a set of per-VC curves to monitor resolution."""
+        return {vc: quantize_curve(c, self.n_ways) for vc, c in curves.items()}
+
+    def storage_bits(self, n_vcs: int, counter_bits: int = 32) -> int:
+        """Monitor storage for ``n_vcs`` VCs (counters only)."""
+        return n_vcs * self.n_ways * counter_bits

@@ -1,0 +1,219 @@
+"""Miss-rate curves: misses as a function of cache size.
+
+A :class:`MissCurve` stores miss *counts* sampled on a uniform size grid
+(``chunk_bytes`` per grid step).  Counts, rather than rates, make curves
+composable across profiling intervals; MPKI is derived on demand from the
+instruction count of the interval the curve was profiled over.
+
+Curves are always non-increasing in size.  Several consumers (Jigsaw's
+partitioner, WhirlTool's distance metric) work with the convex hull, which
+is the best performance achievable by partitioning within a VC (paper
+Sec 4.2, citing Talus).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["MissCurve"]
+
+
+@dataclass
+class MissCurve:
+    """Misses vs. cache size on a uniform grid.
+
+    Attributes:
+        misses: ``misses[i]`` is the number of misses with a cache of
+            ``i * chunk_bytes`` bytes.  Non-increasing, length ``n + 1``
+            where ``n`` is the number of chunks spanned.
+        chunk_bytes: grid granularity in bytes.
+        accesses: number of accesses profiled into this curve.
+        instructions: instructions executed over the profiling window
+            (used to convert counts to per-kilo-instruction rates).
+    """
+
+    misses: np.ndarray
+    chunk_bytes: int
+    accesses: float
+    instructions: float
+    _hull_cache: np.ndarray | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.misses = np.asarray(self.misses, dtype=np.float64)
+        if self.misses.ndim != 1 or len(self.misses) == 0:
+            raise ValueError("misses must be a non-empty 1-D array")
+        if self.chunk_bytes <= 0:
+            raise ValueError(f"chunk_bytes must be positive, got {self.chunk_bytes}")
+        # Enforce monotonicity: profiling noise (sampling) can produce tiny
+        # upticks; a miss curve is non-increasing by definition.
+        self.misses = np.minimum.accumulate(self.misses)
+        np.clip(self.misses, 0.0, None, out=self.misses)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(
+        cls, n_chunks: int, chunk_bytes: int, instructions: float = 1.0
+    ) -> "MissCurve":
+        """An empty curve (no accesses, no misses) over ``n_chunks`` chunks."""
+        return cls(
+            misses=np.zeros(n_chunks + 1),
+            chunk_bytes=chunk_bytes,
+            accesses=0.0,
+            instructions=instructions,
+        )
+
+    # ------------------------------------------------------------------
+    # Size/index conversion
+    # ------------------------------------------------------------------
+    @property
+    def n_chunks(self) -> int:
+        """Number of grid steps (the largest modeled size in chunks)."""
+        return len(self.misses) - 1
+
+    @property
+    def max_bytes(self) -> int:
+        """Largest cache size the curve models."""
+        return self.n_chunks * self.chunk_bytes
+
+    def sizes_bytes(self) -> np.ndarray:
+        """The size grid, in bytes, matching :attr:`misses`."""
+        return np.arange(len(self.misses)) * float(self.chunk_bytes)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def misses_at(self, size_bytes: float) -> float:
+        """Misses for a cache of ``size_bytes`` (linear interpolation).
+
+        Sizes beyond the modeled range clamp to the final value.
+        """
+        if size_bytes < 0:
+            raise ValueError(f"size_bytes must be non-negative, got {size_bytes}")
+        pos = size_bytes / self.chunk_bytes
+        if pos >= self.n_chunks:
+            return float(self.misses[-1])
+        lo = int(pos)
+        frac = pos - lo
+        return float(self.misses[lo] * (1 - frac) + self.misses[lo + 1] * frac)
+
+    def mpki_at(self, size_bytes: float) -> float:
+        """Misses per kilo-instruction at ``size_bytes``."""
+        return self.misses_at(size_bytes) * 1000.0 / self.instructions
+
+    @property
+    def apki(self) -> float:
+        """Accesses per kilo-instruction over the profiling window."""
+        return self.accesses * 1000.0 / self.instructions
+
+    def mpki_curve(self) -> np.ndarray:
+        """The whole curve as MPKI values on the size grid."""
+        return self.misses * 1000.0 / self.instructions
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def convex_hull(self) -> np.ndarray:
+        """Lower convex hull of the miss curve (same grid).
+
+        The hull is the best achievable misses-vs-size tradeoff when the
+        curve's own capacity may be internally partitioned (Talus); it is
+        what the capacity partitioner and WhirlTool's distance metric
+        consume.  Computed with a linear-time monotone-chain scan and
+        cached.
+        """
+        if self._hull_cache is None:
+            self._hull_cache = _lower_convex_hull(self.misses)
+        return self._hull_cache
+
+    def hull_curve(self) -> "MissCurve":
+        """A new :class:`MissCurve` whose values are the convex hull."""
+        return MissCurve(
+            misses=self.convex_hull().copy(),
+            chunk_bytes=self.chunk_bytes,
+            accesses=self.accesses,
+            instructions=self.instructions,
+        )
+
+    def resampled(self, n_chunks: int) -> "MissCurve":
+        """Resample onto a grid with ``n_chunks`` steps over the same span."""
+        if n_chunks <= 0:
+            raise ValueError(f"n_chunks must be positive, got {n_chunks}")
+        old_sizes = self.sizes_bytes()
+        new_chunk = self.max_bytes / n_chunks
+        new_sizes = np.arange(n_chunks + 1) * new_chunk
+        misses = np.interp(new_sizes, old_sizes, self.misses)
+        return MissCurve(
+            misses=misses,
+            chunk_bytes=int(round(new_chunk)),
+            accesses=self.accesses,
+            instructions=self.instructions,
+        )
+
+    def extended(self, n_chunks: int) -> "MissCurve":
+        """Extend the grid to ``n_chunks`` steps, padding with the last value."""
+        if n_chunks < self.n_chunks:
+            raise ValueError("extended() cannot shrink a curve")
+        pad = np.full(n_chunks - self.n_chunks, self.misses[-1])
+        return MissCurve(
+            misses=np.concatenate([self.misses, pad]),
+            chunk_bytes=self.chunk_bytes,
+            accesses=self.accesses,
+            instructions=self.instructions,
+        )
+
+    def scaled(self, factor: float) -> "MissCurve":
+        """Scale access/miss counts by ``factor`` (e.g. sampling correction)."""
+        if factor < 0:
+            raise ValueError(f"factor must be non-negative, got {factor}")
+        return MissCurve(
+            misses=self.misses * factor,
+            chunk_bytes=self.chunk_bytes,
+            accesses=self.accesses * factor,
+            instructions=self.instructions,
+        )
+
+    def merged_over_time(self, other: "MissCurve") -> "MissCurve":
+        """Accumulate two curves profiled over *disjoint time windows*.
+
+        Both counts and instruction windows add.  This is how a whole-run
+        curve is built from per-interval curves.  Requires matching grids.
+        """
+        if other.chunk_bytes != self.chunk_bytes or other.n_chunks != self.n_chunks:
+            raise ValueError("merged_over_time requires identical size grids")
+        return MissCurve(
+            misses=self.misses + other.misses,
+            chunk_bytes=self.chunk_bytes,
+            accesses=self.accesses + other.accesses,
+            instructions=self.instructions + other.instructions,
+        )
+
+
+def _lower_convex_hull(values: np.ndarray) -> np.ndarray:
+    """Lower convex hull of ``values`` sampled at integer x positions.
+
+    Monotone-chain over the points (i, values[i]); returns the hull
+    re-sampled back onto every integer position (piecewise-linear).
+    """
+    n = len(values)
+    if n <= 2:
+        return values.astype(np.float64).copy()
+    # Hull vertex stack: indices into `values`.
+    stack: list[int] = []
+    for i in range(n):
+        while len(stack) >= 2:
+            i0, i1 = stack[-2], stack[-1]
+            # Keep i1 only if it lies strictly below segment (i0 -> i).
+            lhs = (values[i1] - values[i0]) * (i - i0)
+            rhs = (values[i] - values[i0]) * (i1 - i0)
+            if lhs >= rhs:  # i1 is on/above the chord: drop it
+                stack.pop()
+            else:
+                break
+        stack.append(i)
+    xs = np.asarray(stack, dtype=np.float64)
+    ys = values[stack].astype(np.float64)
+    return np.interp(np.arange(n, dtype=np.float64), xs, ys)

@@ -1,0 +1,123 @@
+"""Capacity partitioning over (convex hulls of) cost curves.
+
+Jigsaw sizes VCs by partitioning cache capacity to minimize total latency;
+WhirlTool's distance metric needs the *partitioned* miss curve of two
+pools (the misses when capacity is split optimally between them, paper
+Sec 4.2).  Both reduce to the same primitive: given per-consumer convex
+cost-vs-size curves, hand out capacity chunks in order of marginal gain.
+
+On convex curves the greedy is optimal; we always take convex hulls first,
+which the paper justifies via Talus-style intra-VC partitioning.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.curves.miss_curve import MissCurve, _lower_convex_hull
+
+__all__ = [
+    "partition_capacity",
+    "partition_cost_curves",
+    "partitioned_miss_curve",
+]
+
+
+def partition_cost_curves(
+    cost_curves: list[np.ndarray], total_chunks: int
+) -> tuple[list[int], float]:
+    """Split ``total_chunks`` among consumers to minimize total cost.
+
+    Args:
+        cost_curves: one cost-vs-size array per consumer (index = chunks,
+            value = cost at that size).  Each is convex-hulled internally.
+        total_chunks: capacity to distribute.
+
+    Returns:
+        ``(sizes, total_cost)`` — chunks given to each consumer (summing to
+        at most ``total_chunks``; capacity beyond every curve's saturation
+        point is left unallocated) and the resulting total cost.
+    """
+    hulls = [_lower_convex_hull(np.asarray(c, dtype=np.float64)) for c in cost_curves]
+    sizes = [0] * len(hulls)
+    # Max-heap of (negative marginal gain, consumer, next size).
+    heap: list[tuple[float, int, int]] = []
+    for k, hull in enumerate(hulls):
+        if len(hull) > 1:
+            gain = hull[0] - hull[1]
+            heapq.heappush(heap, (-gain, k, 1))
+    remaining = total_chunks
+    while remaining > 0 and heap:
+        neg_gain, k, nxt = heapq.heappop(heap)
+        if -neg_gain <= 0.0:
+            break  # no curve benefits from more capacity
+        sizes[k] = nxt
+        remaining -= 1
+        hull = hulls[k]
+        if nxt + 1 < len(hull):
+            gain = hull[nxt] - hull[nxt + 1]
+            heapq.heappush(heap, (-gain, k, nxt + 1))
+    total_cost = sum(float(h[s]) for h, s in zip(hulls, sizes))
+    return sizes, total_cost
+
+
+def partition_capacity(
+    curves: list[MissCurve], total_bytes: float
+) -> tuple[list[int], float]:
+    """Partition ``total_bytes`` among miss curves to minimize total misses.
+
+    Counts are normalized to rates (misses per instruction) so that curves
+    profiled over different windows are comparable.
+
+    Returns:
+        ``(sizes_bytes, total_miss_rate)``.
+    """
+    if not curves:
+        return [], 0.0
+    chunk = curves[0].chunk_bytes
+    if any(c.chunk_bytes != chunk for c in curves):
+        raise ValueError("all curves must share chunk_bytes")
+    cost = [c.misses / max(c.instructions, 1e-12) for c in curves]
+    total_chunks = int(total_bytes // chunk)
+    sizes, total_cost = partition_cost_curves(cost, total_chunks)
+    return [s * chunk for s in sizes], total_cost
+
+
+def partitioned_miss_curve(a: MissCurve, b: MissCurve) -> MissCurve:
+    """Miss curve of two pools under *optimal partitioning* (paper Sec 4.2).
+
+    ``result.misses[S]`` is the minimum total misses achievable by
+    splitting ``S`` chunks between the two pools (using each pool's convex
+    hull).  This lower-bounds the combined (shared) curve; the gap between
+    the two is WhirlTool's distance metric.
+
+    Normalization matches :func:`repro.curves.combine.combine_miss_curves`
+    so the two curves can be subtracted directly.
+    """
+    if a.chunk_bytes != b.chunk_bytes:
+        raise ValueError("curves must share chunk_bytes")
+    n = max(a.n_chunks, b.n_chunks)
+    ca = a.extended(n) if a.n_chunks < n else a
+    cb = b.extended(n) if b.n_chunks < n else b
+    instructions = max(a.instructions, b.instructions)
+    ra = _lower_convex_hull(ca.misses / max(a.instructions, 1e-12))
+    rb = _lower_convex_hull(cb.misses / max(b.instructions, 1e-12))
+    gains_a = -np.diff(ra)
+    gains_b = -np.diff(rb)
+    merged = np.sort(np.concatenate([gains_a, gains_b]))[::-1]
+    # Best total rate at S chunks = floor rate - sum of the S best gains,
+    # clipped at the number of useful chunks.
+    best = np.empty(n + 1, dtype=np.float64)
+    best[0] = ra[0] + rb[0]
+    cum = np.cumsum(merged[:n]) if n > 0 else np.array([])
+    best[1:] = best[0] - cum
+    floor = ra[-1] + rb[-1]
+    np.clip(best, floor, None, out=best)
+    return MissCurve(
+        misses=best * instructions,
+        chunk_bytes=a.chunk_bytes,
+        accesses=a.accesses + b.accesses,
+        instructions=instructions,
+    )

@@ -1,0 +1,29 @@
+"""Virtual-memory substrate: address space, heap allocator, memory pools.
+
+Whirlpool classifies data at page granularity through the virtual memory
+system (paper Sec 3.1-3.2): the allocator guarantees that every page
+belongs to at most one pool, and pages are tagged with a VC id that the
+(simulated) TLB/VTB uses to route accesses.
+
+Modules
+-------
+- :mod:`repro.mem.address_space` — paged virtual address space + page table.
+- :mod:`repro.mem.allocator` — size-class heap allocator with per-pool
+  arenas; the ``pool_create`` / ``pool_malloc`` API.
+- :mod:`repro.mem.vc` — user-level VC "system calls"
+  (``sys_vc_alloc`` / ``sys_vc_free`` / ``sys_vc_tag``).
+"""
+
+from repro.mem.address_space import PAGE_SIZE, AddressSpace
+from repro.mem.allocator import Allocation, HeapAllocator, PoolAllocator
+from repro.mem.vc import VCError, VCRegistry
+
+__all__ = [
+    "PAGE_SIZE",
+    "AddressSpace",
+    "Allocation",
+    "HeapAllocator",
+    "PoolAllocator",
+    "VCError",
+    "VCRegistry",
+]

@@ -1,0 +1,81 @@
+"""A paged virtual address space with a pool-tagging page table.
+
+This is the substrate under the pool allocator: pages are handed out in
+contiguous runs, and the page table remembers which memory pool (if any)
+each page belongs to.  The simulated hardware classifies an access by
+looking up its page here — exactly how Whirlpool uses the TLB to map
+pages to VCs (paper Sec 2.4/3.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PAGE_SIZE", "AddressSpace", "POOL_NONE"]
+
+#: Page size in bytes (x86-64 small pages).
+PAGE_SIZE = 4096
+
+#: Pool tag of untagged pages.
+POOL_NONE = -1
+
+
+class AddressSpace:
+    """Monotonic page-granular virtual address space.
+
+    Pages are never re-used for a *different* pool once tagged (freed
+    memory returns to its pool's arena), which preserves the paper's
+    invariant that a page belongs to exactly one pool or none.
+    """
+
+    def __init__(self, base: int = 0x1000_0000) -> None:
+        if base % PAGE_SIZE != 0:
+            raise ValueError(f"base must be page-aligned, got {hex(base)}")
+        self._next_page = base // PAGE_SIZE
+        self._pool_of_page: dict[int, int] = {}
+
+    def map_pages(self, n_pages: int, pool: int = POOL_NONE) -> int:
+        """Map ``n_pages`` contiguous pages tagged with ``pool``.
+
+        Returns:
+            The base virtual address of the run.
+        """
+        if n_pages <= 0:
+            raise ValueError(f"n_pages must be positive, got {n_pages}")
+        start = self._next_page
+        self._next_page += n_pages
+        for p in range(start, start + n_pages):
+            self._pool_of_page[p] = pool
+        return start * PAGE_SIZE
+
+    def pool_of(self, addr: int) -> int:
+        """Pool tag of the page containing ``addr`` (POOL_NONE if untagged)."""
+        return self._pool_of_page.get(addr // PAGE_SIZE, POOL_NONE)
+
+    def pools_of(self, addrs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`pool_of` over an address array."""
+        pages = np.asarray(addrs, dtype=np.int64) // PAGE_SIZE
+        unique, inverse = np.unique(pages, return_inverse=True)
+        tags = np.array(
+            [self._pool_of_page.get(int(p), POOL_NONE) for p in unique],
+            dtype=np.int32,
+        )
+        return tags[inverse]
+
+    def retag_pages(self, addr: int, n_bytes: int, pool: int) -> int:
+        """Retag all pages overlapping ``[addr, addr + n_bytes)``.
+
+        Used by ``sys_vc_tag``.  Returns the number of pages retagged.
+        """
+        if n_bytes <= 0:
+            raise ValueError(f"n_bytes must be positive, got {n_bytes}")
+        first = addr // PAGE_SIZE
+        last = (addr + n_bytes - 1) // PAGE_SIZE
+        for p in range(first, last + 1):
+            self._pool_of_page[p] = pool
+        return last - first + 1
+
+    @property
+    def mapped_bytes(self) -> int:
+        """Total bytes mapped so far."""
+        return len(self._pool_of_page) * PAGE_SIZE

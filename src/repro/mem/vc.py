@@ -1,0 +1,85 @@
+"""User-level virtual-cache "system calls" (paper Sec 3.2).
+
+Whirlpool exposes VCs to user programs through three syscalls:
+
+- ``sys_vc_alloc()`` — allocate a user-level VC, returning its id.
+- ``sys_vc_free(vc)`` — deallocate it.
+- ``sys_vc_tag(addr, len, vc)`` — tag a page range with a VC.
+
+The registry performs the safety checks the paper calls out: a process
+may only tag its own pages with its own VCs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mem.address_space import AddressSpace
+
+__all__ = ["VCError", "VCRegistry"]
+
+
+class VCError(Exception):
+    """Raised on invalid VC operations (bad id, foreign process, ...)."""
+
+
+@dataclass
+class _VCInfo:
+    owner_pid: int
+    live: bool = True
+
+
+class VCRegistry:
+    """Tracks user-level VCs and enforces per-process ownership."""
+
+    #: Reserved VC ids for Jigsaw's built-in VC kinds (Sec 2.4).
+    THREAD_PRIVATE = 0
+    PROCESS = 1
+    GLOBAL = 2
+    _FIRST_USER_VC = 3
+
+    def __init__(self, space: AddressSpace) -> None:
+        self._space = space
+        self._vcs: dict[int, _VCInfo] = {}
+        self._next_id = self._FIRST_USER_VC
+
+    def sys_vc_alloc(self, pid: int) -> int:
+        """Allocate a user-level VC owned by process ``pid``."""
+        vc = self._next_id
+        self._next_id += 1
+        self._vcs[vc] = _VCInfo(owner_pid=pid)
+        return vc
+
+    def sys_vc_free(self, pid: int, vc: int) -> None:
+        """Free a user-level VC; its pages revert to the process VC."""
+        info = self._check(pid, vc)
+        info.live = False
+
+    def sys_vc_tag(self, pid: int, addr: int, n_bytes: int, vc: int) -> int:
+        """Tag the pages overlapping ``[addr, addr+n_bytes)`` with ``vc``.
+
+        Returns the number of pages tagged.
+        """
+        self._check(pid, vc)
+        return self._space.retag_pages(addr, n_bytes, vc)
+
+    def sys_mmap(self, pid: int, n_pages: int, vc: int | None = None) -> int:
+        """``mmap`` with an optional VC tag for the new pages (Sec 3.2)."""
+        if vc is not None:
+            self._check(pid, vc)
+            return self._space.map_pages(n_pages, vc)
+        return self._space.map_pages(n_pages)
+
+    def user_vcs(self, pid: int) -> list[int]:
+        """Live user-level VCs owned by ``pid``."""
+        return [
+            vc for vc, info in self._vcs.items() if info.live and info.owner_pid == pid
+        ]
+
+    def _check(self, pid: int, vc: int) -> _VCInfo:
+        info = self._vcs.get(vc)
+        if info is None or not info.live:
+            raise VCError(f"VC {vc} does not exist")
+        if info.owner_pid != pid:
+            raise VCError(f"process {pid} does not own VC {vc}")
+        return info

@@ -1,0 +1,32 @@
+"""NUCA hardware substrate: mesh geometry, latency/energy models, configs.
+
+Models the simulated CMPs of Table 3: a 4-core chip with a 5×5 mesh of
+512 KB LLC banks (Fig 1) and a 16-core chip with a 9×9 mesh (Fig 12).
+Cores sit on the mesh perimeter; memory controllers at the corners.
+
+Modules
+-------
+- :mod:`repro.nuca.geometry` — mesh coordinates, hop distances, and
+  "reach" curves (average hops to the closest banks covering a size).
+- :mod:`repro.nuca.energy` — per-event data-movement energy accounting.
+- :mod:`repro.nuca.config` — Table-3 system configurations.
+- :mod:`repro.nuca.banks` — event-driven set-associative bank simulator.
+"""
+
+from repro.nuca.banks import CacheSim
+from repro.nuca.config import SystemConfig, four_core_config, sixteen_core_config
+from repro.nuca.energy import EnergyBreakdown, EnergyModel
+from repro.nuca.geometry import MeshGeometry, Placement
+from repro.nuca.zcache import ZCache
+
+__all__ = [
+    "CacheSim",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "MeshGeometry",
+    "Placement",
+    "SystemConfig",
+    "ZCache",
+    "four_core_config",
+    "sixteen_core_config",
+]

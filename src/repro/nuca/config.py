@@ -1,0 +1,124 @@
+"""System configurations (paper Table 3).
+
+Two simulated CMPs:
+
+- 4 cores, 5×5 mesh of 512 KB banks (12.5 MB LLC, ~3.1 MB/core), 1 MCU.
+- 16 cores, 9×9 mesh of 512 KB banks (40.5 MB LLC, ~2.5 MB/core), 4 MCUs.
+
+Both use 64 B lines, 9-cycle banks, 3-cycle routers + 2-cycle links
+(5 cycles/hop one way), and 120-cycle zero-load memory latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.curves.latency import LatencyModel
+from repro.nuca.energy import EnergyModel
+from repro.nuca.geometry import MeshGeometry
+
+__all__ = ["SystemConfig", "four_core_config", "sixteen_core_config"]
+
+
+@dataclass
+class SystemConfig:
+    """Everything a scheme needs to know about the simulated chip.
+
+    Attributes:
+        name: human-readable config name.
+        geometry: the bank mesh (banks, cores, MCUs, distances).
+        latency: latency parameters (banks, hops, memory).
+        energy: per-event energy model.
+        line_bytes: cache line size.
+        l2_bytes: per-core private L2 size (the LLC trace is the L2 miss
+            stream; L2 size matters to IdealSPD's private region model).
+        base_cpi: core CPI when never stalled on LLC/memory data.
+        reconfig_instructions: instructions between runtime
+            reconfigurations (scaled-down stand-in for the 25 ms epoch).
+        chunk_bytes: size granularity for miss curves and allocations.
+    """
+
+    name: str
+    geometry: MeshGeometry
+    latency: LatencyModel
+    energy: EnergyModel = field(default_factory=EnergyModel)
+    line_bytes: int = 64
+    l2_bytes: int = 128 * 1024
+    base_cpi: float = 0.35
+    reconfig_instructions: float = 250_000.0
+    chunk_bytes: int = 64 * 1024
+
+    @property
+    def n_cores(self) -> int:
+        """Number of cores."""
+        return self.geometry.n_cores
+
+    @property
+    def llc_bytes(self) -> int:
+        """Total LLC capacity."""
+        return self.geometry.total_bytes
+
+    @property
+    def n_chunks(self) -> int:
+        """LLC capacity in miss-curve chunks."""
+        return self.llc_bytes // self.chunk_bytes
+
+    @property
+    def model_chunks(self) -> int:
+        """Miss-curve grid extent: 2× the LLC, so models that interpolate
+        or hull the curve (DRRIP scan resistance, WhirlTool distances)
+        see behaviour beyond the cache size."""
+        return 2 * self.n_chunks
+
+    def latency_for_core(self, core: int) -> LatencyModel:
+        """Latency model with this core's distance to its memory controller."""
+        return LatencyModel(
+            bank_latency=self.latency.bank_latency,
+            hop_latency=self.latency.hop_latency,
+            mem_latency=self.latency.mem_latency,
+            mem_hops=self.geometry.mem_hops(core),
+        )
+
+    def describe(self) -> dict[str, str]:
+        """Table-3-style description of the configuration."""
+        geo = self.geometry
+        return {
+            "Cores": f"{geo.n_cores} cores, trace-driven in-order model, "
+            f"base CPI {self.base_cpi}",
+            "L2 caches": f"{self.l2_bytes // 1024}KB private per-core "
+            "(traces are the L2 miss stream)",
+            "L3 cache": f"{geo.bank_bytes // 1024}KB per bank, "
+            f"{geo.dim}x{geo.dim} mesh, "
+            f"{self.latency.bank_latency:.0f}-cycle bank latency",
+            "NUCA NoC": f"{geo.dim}x{geo.dim} mesh, X-Y routing, "
+            f"{self.latency.hop_latency:.0f} cycles/hop one-way",
+            "Memory": f"{len(geo.mcu_entries)} MCUs, "
+            f"{self.latency.mem_latency:.0f}-cycle zero-load latency",
+            "Lines": f"{self.line_bytes} B lines",
+        }
+
+
+def four_core_config(**overrides) -> SystemConfig:
+    """The 4-core, 5×5-mesh chip of Fig 1 / Table 3."""
+    geometry = MeshGeometry(dim=5, n_cores=4, bank_bytes=512 * 1024, n_mcus=1)
+    cfg = SystemConfig(
+        name="4-core 5x5",
+        geometry=geometry,
+        latency=LatencyModel(bank_latency=9, hop_latency=5, mem_latency=120),
+    )
+    for key, value in overrides.items():
+        setattr(cfg, key, value)
+    return cfg
+
+
+def sixteen_core_config(**overrides) -> SystemConfig:
+    """The 16-core, 9×9-mesh chip of Fig 12 / Table 3."""
+    geometry = MeshGeometry(dim=9, n_cores=16, bank_bytes=512 * 1024, n_mcus=4)
+    cfg = SystemConfig(
+        name="16-core 9x9",
+        geometry=geometry,
+        latency=LatencyModel(bank_latency=9, hop_latency=5, mem_latency=120),
+    )
+    for key, value in overrides.items():
+        setattr(cfg, key, value)
+    return cfg

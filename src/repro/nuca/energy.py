@@ -1,0 +1,105 @@
+"""Data-movement energy accounting.
+
+The paper reports *data movement energy*: the dynamic energy of cache
+banks, the NoC, and main memory (Figs 10, 13, 19-21).  We account it per
+event with constants whose ratios follow the paper's introduction
+(an off-chip DRAM access costs ~20-50× an on-chip 1 MB cache access;
+sending data across the chip is comparable to a cache access).
+
+Substitution note (DESIGN.md): the paper derives constants from McPAT at
+22 nm and Micron DDR3L datasheets; absolute joules differ here, but every
+figure normalizes energy to a baseline scheme, so only ratios matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EnergyModel", "EnergyBreakdown"]
+
+
+@dataclass
+class EnergyBreakdown:
+    """Accumulated data-movement energy, by component (in nJ).
+
+    Matches the stacked bars of Fig 10: ``network`` (NoC routers+links),
+    ``bank`` (LLC bank accesses), ``memory`` (DRAM accesses).
+    """
+
+    network: float = 0.0
+    bank: float = 0.0
+    memory: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total data-movement energy."""
+        return self.network + self.bank + self.memory
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            network=self.network + other.network,
+            bank=self.bank + other.bank,
+            memory=self.memory + other.memory,
+        )
+
+    def scaled(self, factor: float) -> "EnergyBreakdown":
+        """Multiply every component by ``factor``."""
+        return EnergyBreakdown(
+            network=self.network * factor,
+            bank=self.bank * factor,
+            memory=self.memory * factor,
+        )
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energy constants (nJ per 64 B line event).
+
+    Attributes:
+        bank_nj: one LLC bank lookup/fill.
+        hop_nj: moving one line across one router+link hop (one way).
+        mem_nj: one DRAM access (row activation amortized).
+        private_nj: one private-cache (L2/private-L3) access, for
+            IdealSPD's replicated private region.
+    """
+
+    bank_nj: float = 0.8
+    hop_nj: float = 0.35
+    mem_nj: float = 8.0
+    private_nj: float = 0.4
+
+    def llc_access(self, hops: float, count: float = 1.0) -> EnergyBreakdown:
+        """Energy of ``count`` LLC accesses placed ``hops`` away.
+
+        Request + data traverse the network both ways (2× per-hop).
+        """
+        return EnergyBreakdown(
+            network=2.0 * hops * self.hop_nj * count,
+            bank=self.bank_nj * count,
+        )
+
+    def memory_access(self, mem_hops: float, count: float = 1.0) -> EnergyBreakdown:
+        """Energy of ``count`` main-memory accesses (NoC to the MCU + DRAM)."""
+        return EnergyBreakdown(
+            network=2.0 * mem_hops * self.hop_nj * count,
+            memory=self.mem_nj * count,
+        )
+
+    def bank_lookup(self, count: float = 1.0) -> EnergyBreakdown:
+        """Energy of bare bank lookups (no network), e.g. directory checks."""
+        return EnergyBreakdown(bank=self.bank_nj * count)
+
+    def private_access(self, count: float = 1.0) -> EnergyBreakdown:
+        """Energy of private-region accesses (IdealSPD's replicated L3)."""
+        return EnergyBreakdown(bank=self.private_nj * count)
+
+    def migration(self, hops: float, count: float = 1.0) -> EnergyBreakdown:
+        """Energy of migrating ``count`` lines ``hops`` away (one way).
+
+        Covers D-NUCA block migration and Awasthi page moves (the page
+        migration cost is ``lines_per_page`` such events).
+        """
+        return EnergyBreakdown(
+            network=hops * self.hop_nj * count,
+            bank=2.0 * self.bank_nj * count,  # read source + write dest
+        )

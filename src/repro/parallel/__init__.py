@@ -1,0 +1,24 @@
+"""Task-parallel runtime: work stealing and PaWS (paper Sec 3.4).
+
+- :mod:`repro.parallel.task` — tasks with data affinity and the
+  :class:`ParallelWorkload` container.
+- :mod:`repro.parallel.scheduler` — conventional work stealing
+  (enqueue locally, steal at random) and PaWS (enqueue at the data's
+  home core, steal from mesh neighbors).
+- :mod:`repro.parallel.apps` — the six parallel applications of Fig 13:
+  mergesort, fft, delaunay, pagerank, connectedComponents,
+  triangleCounting.
+"""
+
+from repro.parallel.apps import PARALLEL_APPS, build_parallel_workload
+from repro.parallel.scheduler import Schedule, schedule_tasks
+from repro.parallel.task import ParallelWorkload, Task
+
+__all__ = [
+    "PARALLEL_APPS",
+    "ParallelWorkload",
+    "Schedule",
+    "Task",
+    "build_parallel_workload",
+    "schedule_tasks",
+]

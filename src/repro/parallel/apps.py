@@ -1,0 +1,257 @@
+"""The six parallel applications of Fig 13.
+
+Data is partitioned evenly among the 16 cores (one region = one
+partition = one Whirlpool pool); graph inputs are partitioned with the
+METIS-substitute partitioner to minimize edge cut, as the paper does.
+Remote accesses (to other partitions' regions) come from the real
+structure of each algorithm: merge partners, FFT butterflies, cut edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.graphs import partition_graph, rmat_graph
+from repro.parallel.task import ParallelWorkload, Task
+
+__all__ = ["PARALLEL_APPS", "build_parallel_workload"]
+
+_MB = 1 << 20
+
+#: Bytes per partition region (per-core data), by scale.
+_PART_BYTES = {"train": 512 * 1024, "small": 512 * 1024,
+               "ref": int(1.6 * _MB), "large": int(1.6 * _MB)}
+
+#: Region base addresses are spaced well apart.
+_REGION_SPACING = 1 << 32
+
+
+def _region_base(p: int) -> int:
+    return (p + 1) * _REGION_SPACING
+
+
+def _local_stream(
+    rng: np.random.Generator, p: int, part_bytes: int, count: int, kind: str
+) -> np.ndarray:
+    """Addresses within partition ``p``'s region."""
+    n_lines = part_bytes // 64
+    if kind == "scan":
+        idx = np.arange(count, dtype=np.int64) % n_lines
+    else:
+        idx = rng.integers(0, n_lines, size=count, dtype=np.int64)
+    return _region_base(p) + idx * 64
+
+
+def _make_regions(n_parts: int) -> tuple[dict[int, str], dict[int, int]]:
+    names = {p: f"part{p:02d}" for p in range(n_parts)}
+    parts = {p: p for p in range(n_parts)}
+    return names, parts
+
+
+def build_mergesort(
+    scale: str = "ref", seed: int = 0, n_partitions: int = 16
+) -> ParallelWorkload:
+    """Parallel mergesort: local sort tasks, then cross-partition merges."""
+    part_bytes = _PART_BYTES[scale]
+    rng = np.random.default_rng(seed)
+    names, parts = _make_regions(n_partitions)
+    tasks = []
+    chunk = part_bytes // 64 // 4  # accesses per task ~ quarter region
+    # Phase 0: local sorts (several passes per partition).
+    for p in range(n_partitions):
+        for __ in range(4):
+            tasks.append(
+                Task(
+                    home=p,
+                    phase=0,
+                    streams={p: _local_stream(rng, p, part_bytes, 2 * chunk, "scan")},
+                )
+            )
+    # Phases 1..log2: merges with partners at growing distance.
+    phase = 1
+    stride = 1
+    while stride < n_partitions:
+        for p in range(0, n_partitions, 2 * stride):
+            q = p + stride
+            tasks.append(
+                Task(
+                    home=p,
+                    phase=phase,
+                    streams={
+                        p: _local_stream(rng, p, part_bytes, 2 * chunk, "scan"),
+                        q: _local_stream(rng, q, part_bytes, 2 * chunk, "scan"),
+                    },
+                )
+            )
+        stride *= 2
+        phase += 1
+    return ParallelWorkload(
+        name="mergesort", tasks=tasks, region_names=names,
+        partition_of_region=parts, n_partitions=n_partitions, apki=26.0,
+    )
+
+
+def build_fft(
+    scale: str = "ref", seed: int = 0, n_partitions: int = 16
+) -> ParallelWorkload:
+    """FFT: butterfly phases pair partitions at distance 2^s."""
+    part_bytes = _PART_BYTES[scale]
+    rng = np.random.default_rng(seed + 1)
+    names, parts = _make_regions(n_partitions)
+    tasks = []
+    chunk = part_bytes // 64 // 2
+    n_stages = int(np.log2(n_partitions))
+    for s in range(n_stages):
+        stride = 1 << s
+        for p in range(n_partitions):
+            q = p ^ stride
+            tasks.append(
+                Task(
+                    home=p,
+                    phase=s,
+                    streams={
+                        p: _local_stream(rng, p, part_bytes, chunk, "scan"),
+                        q: _local_stream(rng, q, part_bytes, chunk // 2, "scan"),
+                    },
+                )
+            )
+    return ParallelWorkload(
+        name="fft", tasks=tasks, region_names=names,
+        partition_of_region=parts, n_partitions=n_partitions, apki=30.0,
+    )
+
+
+def build_parallel_delaunay(
+    scale: str = "ref", seed: int = 0, n_partitions: int = 16
+) -> ParallelWorkload:
+    """Parallel Delaunay: spatially-partitioned insertions, boundary spill."""
+    part_bytes = _PART_BYTES[scale]
+    rng = np.random.default_rng(seed + 2)
+    names, parts = _make_regions(n_partitions)
+    tasks = []
+    per_task = part_bytes // 64 // 3
+    for phase in range(3):
+        for p in range(n_partitions):
+            for __ in range(3):
+                neighbor = (p + int(rng.integers(1, 3))) % n_partitions
+                tasks.append(
+                    Task(
+                        home=p,
+                        phase=phase,
+                        streams={
+                            p: _local_stream(rng, p, part_bytes, per_task, "rand"),
+                            neighbor: _local_stream(
+                                rng, neighbor, part_bytes, per_task // 8, "rand"
+                            ),
+                        },
+                    )
+                )
+    return ParallelWorkload(
+        name="delaunay-par", tasks=tasks, region_names=names,
+        partition_of_region=parts, n_partitions=n_partitions, apki=25.0,
+    )
+
+
+def _graph_tasks(
+    name: str,
+    scale: str,
+    seed: int,
+    n_partitions: int,
+    n_rounds: int,
+    remote_weight: float,
+    apki: float,
+    tasks_per_part: int = 3,
+) -> ParallelWorkload:
+    """Shared skeleton of the graph apps: per-round per-partition tasks
+    that touch their own vertices plus neighbors across the cut."""
+    part_bytes = _PART_BYTES[scale]
+    rng = np.random.default_rng(seed)
+    n = 8192
+    graph = rmat_graph(n, 10.0, seed=seed)
+    membership = partition_graph(graph, n_partitions, seed=seed)
+    # Remote-access mix per partition: where do cut edges point?
+    src = np.repeat(np.arange(graph.n), graph.degrees())
+    dst = graph.targets
+    names, parts = _make_regions(n_partitions)
+    remote_mix = {}
+    for p in range(n_partitions):
+        sel = (membership[src] == p) & (membership[dst] != p)
+        targets, counts = np.unique(membership[dst[sel]], return_counts=True)
+        remote_mix[p] = (targets, counts / counts.sum()) if len(targets) else (
+            np.array([(p + 1) % n_partitions]), np.array([1.0])
+        )
+    tasks = []
+    per_task = part_bytes // 64 // 3
+    for phase in range(n_rounds):
+        for p in range(n_partitions):
+            for __ in range(tasks_per_part):
+                streams = {
+                    p: _local_stream(rng, p, part_bytes, per_task, "rand")
+                }
+                n_remote = int(per_task * remote_weight)
+                if n_remote > 0:
+                    targets, probs = remote_mix[p]
+                    for q in np.unique(
+                        rng.choice(targets, size=min(3, len(targets)), p=probs)
+                    ).tolist():
+                        streams[int(q)] = _local_stream(
+                            rng, int(q), part_bytes,
+                            max(n_remote // 3, 1), "rand",
+                        )
+                tasks.append(Task(home=p, phase=phase, streams=streams))
+    return ParallelWorkload(
+        name=name, tasks=tasks, region_names=names,
+        partition_of_region=parts, n_partitions=n_partitions, apki=apki,
+    )
+
+
+def build_pagerank(scale: str = "ref", seed: int = 0, n_partitions: int = 16):
+    """PageRank: per-round rank gathers across the (minimized) edge cut."""
+    return _graph_tasks(
+        "pagerank", scale, seed + 3, n_partitions,
+        n_rounds=4, remote_weight=0.25, apki=35.0,
+    )
+
+
+def build_connected_components(
+    scale: str = "ref", seed: int = 0, n_partitions: int = 16
+):
+    """Label propagation until convergence: many rounds, heavy remote."""
+    return _graph_tasks(
+        "connectedComponents", scale, seed + 4, n_partitions,
+        n_rounds=6, remote_weight=0.35, apki=40.0,
+    )
+
+
+def build_triangle_counting(
+    scale: str = "ref", seed: int = 0, n_partitions: int = 16
+):
+    """Wedge checks probe neighbor adjacency lists across partitions."""
+    return _graph_tasks(
+        "triangleCounting", scale, seed + 5, n_partitions,
+        n_rounds=3, remote_weight=0.2, apki=30.0, tasks_per_part=4,
+    )
+
+
+#: Fig 13's application set.
+PARALLEL_APPS = {
+    "mergesort": build_mergesort,
+    "fft": build_fft,
+    "delaunay": build_parallel_delaunay,
+    "pagerank": build_pagerank,
+    "connectedComponents": build_connected_components,
+    "triangleCounting": build_triangle_counting,
+}
+
+
+def build_parallel_workload(
+    name: str, scale: str = "ref", seed: int = 0, n_partitions: int = 16
+) -> ParallelWorkload:
+    """Build one of Fig 13's parallel applications by name."""
+    try:
+        builder = PARALLEL_APPS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown parallel app {name!r}; known: {', '.join(PARALLEL_APPS)}"
+        ) from None
+    return builder(scale=scale, seed=seed, n_partitions=n_partitions)

@@ -1,0 +1,71 @@
+"""Tasks with data affinity.
+
+A task is a unit of work whose input data lives (mostly) in one data
+partition — the property PaWS exploits (Sec 3.4: "in many applications,
+the data accessed by each task is known when the task is created").  Its
+access stream is a per-region address mapping: the home partition's
+region for local accesses, other partitions' regions for remote ones
+(e.g. cut edges in graph algorithms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Task", "ParallelWorkload"]
+
+
+@dataclass
+class Task:
+    """One schedulable task.
+
+    Attributes:
+        home: the data partition (= pool) holding this task's input.
+        streams: region id -> byte-address array the task touches, in
+            order.  Usually dominated by the home partition's region.
+        phase: barrier phase; tasks of phase p+1 only start after all
+            phase-p tasks finish (parallel-for rounds).
+    """
+
+    home: int
+    streams: dict[int, np.ndarray] = field(default_factory=dict)
+    phase: int = 0
+
+    @property
+    def cost(self) -> int:
+        """Work estimate: total accesses."""
+        return int(sum(len(s) for s in self.streams.values()))
+
+
+@dataclass
+class ParallelWorkload:
+    """A task-parallel program over partitioned data.
+
+    Attributes:
+        name: application name.
+        tasks: all tasks, in creation order.
+        region_names: region id -> name ("part03", "shared", ...).
+        partition_of_region: region id -> partition id (-1 = shared,
+            unpartitioned data).
+        n_partitions: data partitions (== pools under Whirlpool+PaWS).
+        apki: LLC accesses per kilo-instruction (per core).
+    """
+
+    name: str
+    tasks: list[Task]
+    region_names: dict[int, str]
+    partition_of_region: dict[int, int]
+    n_partitions: int
+    apki: float = 30.0
+
+    @property
+    def total_accesses(self) -> int:
+        """Accesses across all tasks."""
+        return sum(t.cost for t in self.tasks)
+
+    @property
+    def n_phases(self) -> int:
+        """Number of barrier phases."""
+        return max((t.phase for t in self.tasks), default=0) + 1

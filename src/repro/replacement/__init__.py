@@ -1,0 +1,29 @@
+"""Cache replacement policies for the event-driven bank simulator.
+
+These implement the policies the paper compares against (LRU, DRRIP) and
+classifies related work by (RRIP variants, SHiP), plus a pool-aware DRRIP
+used to reproduce the Sec-2.3 negative result: static classification adds
+little *within a monolithic cache*, because replacement is a much easier
+problem than NUCA placement.
+
+All policies operate per cache set through a small imperative interface
+(:class:`ReplacementPolicy`).
+"""
+
+from repro.replacement.base import ReplacementPolicy
+from repro.replacement.lru import LRU
+from repro.replacement.rrip import BRRIP, DRRIP, SRRIP, PoolAwareDRRIP
+from repro.replacement.ship import SHiP
+from repro.replacement.talus import TalusCache, talus_split
+
+__all__ = [
+    "BRRIP",
+    "DRRIP",
+    "LRU",
+    "PoolAwareDRRIP",
+    "ReplacementPolicy",
+    "SHiP",
+    "TalusCache",
+    "talus_split",
+    "SRRIP",
+]

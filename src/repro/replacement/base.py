@@ -1,0 +1,53 @@
+"""Replacement-policy interface used by :class:`repro.nuca.banks.CacheSim`.
+
+A policy instance manages the metadata of *one cache* (all sets).  The
+simulator calls :meth:`on_hit` / :meth:`victim` / :meth:`on_fill`; the
+``ctx`` argument carries optional classification context (the access's
+pool id, set index parity for set dueling, etc.).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+__all__ = ["ReplacementPolicy", "AccessContext"]
+
+
+class AccessContext:
+    """Classification context for one access.
+
+    Attributes:
+        pool: pool/region id of the accessed line (-1 if unclassified).
+        set_index: index of the cache set being accessed.
+    """
+
+    __slots__ = ("pool", "set_index")
+
+    def __init__(self, pool: int = -1, set_index: int = 0) -> None:
+        self.pool = pool
+        self.set_index = set_index
+
+
+class ReplacementPolicy(ABC):
+    """Per-cache replacement metadata and victim selection."""
+
+    def __init__(self, n_sets: int, n_ways: int) -> None:
+        if n_sets < 1 or n_ways < 1:
+            raise ValueError("n_sets and n_ways must be >= 1")
+        self.n_sets = n_sets
+        self.n_ways = n_ways
+
+    @abstractmethod
+    def on_hit(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        """Update metadata after a hit in ``(set_index, way)``."""
+
+    @abstractmethod
+    def victim(self, set_index: int, ctx: AccessContext) -> int:
+        """Choose the way to evict from ``set_index``."""
+
+    @abstractmethod
+    def on_fill(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        """Update metadata after filling ``(set_index, way)``."""
+
+    def on_eviction(self, set_index: int, way: int) -> None:
+        """Hook called when a line is evicted (default: nothing)."""

@@ -1,0 +1,31 @@
+"""Least-recently-used replacement."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.replacement.base import AccessContext, ReplacementPolicy
+
+__all__ = ["LRU"]
+
+
+class LRU(ReplacementPolicy):
+    """True LRU via per-line logical timestamps."""
+
+    def __init__(self, n_sets: int, n_ways: int) -> None:
+        super().__init__(n_sets, n_ways)
+        self._stamp = np.zeros((n_sets, n_ways), dtype=np.int64)
+        self._clock = 0
+
+    def _touch(self, set_index: int, way: int) -> None:
+        self._clock += 1
+        self._stamp[set_index, way] = self._clock
+
+    def on_hit(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        self._touch(set_index, way)
+
+    def victim(self, set_index: int, ctx: AccessContext) -> int:
+        return int(np.argmin(self._stamp[set_index]))
+
+    def on_fill(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        self._touch(set_index, way)

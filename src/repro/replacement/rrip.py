@@ -1,0 +1,168 @@
+"""RRIP-family replacement: SRRIP, BRRIP, DRRIP, and a pool-aware DRRIP.
+
+Re-Reference Interval Prediction (Jaleel et al., ISCA 2010) keeps an
+M-bit re-reference prediction value (RRPV) per line:
+
+- SRRIP inserts at RRPV = max-1 (long re-reference) and promotes to 0 on
+  hit; victims are lines at RRPV = max (aging increments all RRPVs).
+- BRRIP inserts at max most of the time (thrash resistance).
+- DRRIP set-duels SRRIP vs. BRRIP with a PSEL counter.
+- PoolAwareDRRIP duels *per pool* (the Whirlpool-replacement variant of
+  Sec 2.3, similar to TA-DRRIP/CAMP): each pool independently picks the
+  insertion policy that loses fewer sample-set misses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.replacement.base import AccessContext, ReplacementPolicy
+
+__all__ = ["SRRIP", "BRRIP", "DRRIP", "PoolAwareDRRIP"]
+
+_MAX_RRPV = 3  # 2-bit RRPVs
+_BRRIP_LONG_PERIOD = 32  # 1/32 of BRRIP fills use the long (max-1) value
+
+
+class _RRIPBase(ReplacementPolicy):
+    """Shared RRPV bookkeeping."""
+
+    def __init__(self, n_sets: int, n_ways: int) -> None:
+        super().__init__(n_sets, n_ways)
+        self._rrpv = np.full((n_sets, n_ways), _MAX_RRPV, dtype=np.int8)
+
+    def on_hit(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        self._rrpv[set_index, way] = 0
+
+    def victim(self, set_index: int, ctx: AccessContext) -> int:
+        row = self._rrpv[set_index]
+        while True:
+            candidates = np.nonzero(row == _MAX_RRPV)[0]
+            if len(candidates) > 0:
+                return int(candidates[0])
+            row += 1  # age the whole set
+
+    def _insert(self, set_index: int, way: int, rrpv: int) -> None:
+        self._rrpv[set_index, way] = rrpv
+
+
+class SRRIP(_RRIPBase):
+    """Static RRIP: always insert with a long re-reference prediction."""
+
+    def on_fill(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        self._insert(set_index, way, _MAX_RRPV - 1)
+
+
+class BRRIP(_RRIPBase):
+    """Bimodal RRIP: insert at distant (max) RRPV almost always."""
+
+    def __init__(self, n_sets: int, n_ways: int, seed: int = 0) -> None:
+        super().__init__(n_sets, n_ways)
+        self._counter = seed
+
+    def _long_insertion(self) -> bool:
+        self._counter += 1
+        return self._counter % _BRRIP_LONG_PERIOD == 0
+
+    def on_fill(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        rrpv = _MAX_RRPV - 1 if self._long_insertion() else _MAX_RRPV
+        self._insert(set_index, way, rrpv)
+
+
+class DRRIP(_RRIPBase):
+    """Dynamic RRIP: set-dueling between SRRIP and BRRIP insertion.
+
+    A few leader sets always use SRRIP, a few always BRRIP; misses in
+    leader sets steer a saturating PSEL counter that decides the policy of
+    follower sets.
+    """
+
+    def __init__(
+        self, n_sets: int, n_ways: int, n_leader_sets: int = 32, seed: int = 0
+    ) -> None:
+        super().__init__(n_sets, n_ways)
+        n_leader_sets = min(n_leader_sets, max(2, n_sets // 2) & ~1)
+        stride = max(1, n_sets // max(n_leader_sets, 1))
+        leaders = list(range(0, n_sets, stride))[:n_leader_sets]
+        self._srrip_leaders = set(leaders[0::2])
+        self._brrip_leaders = set(leaders[1::2])
+        self._psel = 512  # 10-bit counter, midpoint
+        self._psel_max = 1023
+        self._brrip_counter = seed
+
+    def _record_miss(self, set_index: int) -> None:
+        if set_index in self._srrip_leaders:
+            self._psel = min(self._psel + 1, self._psel_max)
+        elif set_index in self._brrip_leaders:
+            self._psel = max(self._psel - 1, 0)
+
+    def _use_brrip(self, set_index: int) -> bool:
+        if set_index in self._srrip_leaders:
+            return False
+        if set_index in self._brrip_leaders:
+            return True
+        return self._psel > self._psel_max // 2
+
+    def on_fill(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        self._record_miss(set_index)
+        if self._use_brrip(set_index):
+            self._brrip_counter += 1
+            long_insert = self._brrip_counter % _BRRIP_LONG_PERIOD == 0
+            rrpv = _MAX_RRPV - 1 if long_insert else _MAX_RRPV
+        else:
+            rrpv = _MAX_RRPV - 1
+        self._insert(set_index, way, rrpv)
+
+
+class PoolAwareDRRIP(_RRIPBase):
+    """DRRIP with per-pool insertion dueling (the Sec-2.3 study).
+
+    Each pool gets its own PSEL counter and its own leader-set misses, so
+    a streaming pool can learn distant insertion while a cache-friendly
+    pool keeps near insertion — static classification applied to
+    replacement rather than placement.
+    """
+
+    def __init__(
+        self,
+        n_sets: int,
+        n_ways: int,
+        n_pools: int = 8,
+        n_leader_sets: int = 32,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(n_sets, n_ways)
+        n_leader_sets = min(n_leader_sets, max(2, n_sets // 2) & ~1)
+        stride = max(1, n_sets // max(n_leader_sets, 1))
+        leaders = list(range(0, n_sets, stride))[:n_leader_sets]
+        self._srrip_leaders = set(leaders[0::2])
+        self._brrip_leaders = set(leaders[1::2])
+        self._psel = [512] * (n_pools + 1)
+        self._psel_max = 1023
+        self._brrip_counter = seed
+        self._n_pools = n_pools
+
+    def _pool_slot(self, pool: int) -> int:
+        if pool < 0 or pool >= self._n_pools:
+            return self._n_pools  # unclassified bucket
+        return pool
+
+    def on_fill(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        slot = self._pool_slot(ctx.pool)
+        if set_index in self._srrip_leaders:
+            self._psel[slot] = min(self._psel[slot] + 1, self._psel_max)
+        elif set_index in self._brrip_leaders:
+            self._psel[slot] = max(self._psel[slot] - 1, 0)
+        if set_index in self._srrip_leaders:
+            use_brrip = False
+        elif set_index in self._brrip_leaders:
+            use_brrip = True
+        else:
+            use_brrip = self._psel[slot] > self._psel_max // 2
+        if use_brrip:
+            self._brrip_counter += 1
+            long_insert = self._brrip_counter % _BRRIP_LONG_PERIOD == 0
+            rrpv = _MAX_RRPV - 1 if long_insert else _MAX_RRPV
+        else:
+            rrpv = _MAX_RRPV - 1
+        self._insert(set_index, way, rrpv)

@@ -1,0 +1,62 @@
+"""SHiP: signature-based hit prediction (Wu et al., MICRO 2011).
+
+SHiP classifies lines by a *signature* (here: the pool/region id, standing
+in for the allocating PC) and keeps a table of saturating counters that
+learn whether lines with that signature are re-referenced.  Fills whose
+signature never hits insert at distant RRPV.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.replacement.base import AccessContext, ReplacementPolicy
+
+__all__ = ["SHiP"]
+
+_MAX_RRPV = 3
+_SHCT_BITS = 3
+
+
+class SHiP(ReplacementPolicy):
+    """SHiP-mem: signature = pool id, with a saturating SHCT."""
+
+    def __init__(self, n_sets: int, n_ways: int, table_size: int = 1024) -> None:
+        super().__init__(n_sets, n_ways)
+        self._rrpv = np.full((n_sets, n_ways), _MAX_RRPV, dtype=np.int8)
+        self._sig = np.full((n_sets, n_ways), -1, dtype=np.int32)
+        self._outcome = np.zeros((n_sets, n_ways), dtype=bool)
+        self._shct = np.ones(table_size, dtype=np.int8)  # weakly re-referenced
+        self._table_size = table_size
+
+    def _sig_index(self, pool: int) -> int:
+        return (pool + 1) % self._table_size
+
+    def on_hit(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        self._rrpv[set_index, way] = 0
+        if not self._outcome[set_index, way]:
+            self._outcome[set_index, way] = True
+            sig = self._sig[set_index, way]
+            if sig >= 0:
+                self._shct[sig] = min(self._shct[sig] + 1, (1 << _SHCT_BITS) - 1)
+
+    def victim(self, set_index: int, ctx: AccessContext) -> int:
+        row = self._rrpv[set_index]
+        while True:
+            candidates = np.nonzero(row == _MAX_RRPV)[0]
+            if len(candidates) > 0:
+                return int(candidates[0])
+            row += 1
+
+    def on_eviction(self, set_index: int, way: int) -> None:
+        if not self._outcome[set_index, way]:
+            sig = self._sig[set_index, way]
+            if sig >= 0:
+                self._shct[sig] = max(self._shct[sig] - 1, 0)
+
+    def on_fill(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        sig = self._sig_index(ctx.pool)
+        self._sig[set_index, way] = sig
+        self._outcome[set_index, way] = False
+        predicted_dead = self._shct[sig] == 0
+        self._rrpv[set_index, way] = _MAX_RRPV if predicted_dead else _MAX_RRPV - 1

@@ -1,0 +1,127 @@
+"""Talus: convex cache performance via shadow partitioning (HPCA 2015).
+
+Jigsaw and Whirlpool assume each VC achieves the *convex hull* of its
+miss curve ("this performance could be practically realized by using
+partitioning within each VC", paper Sec 4.2, citing Talus).  This module
+implements that mechanism so the assumption is backed by a concrete
+cache, not just an analytical hull:
+
+To hit the hull at size S lying between hull vertices a < S <= b, split
+the cache into two shadow partitions and steer a fraction rho of the
+*address space* into partition 1:
+
+    rho = (S - a) / (b - a)          (fraction steered to the 'b' shadow)
+    partition 1: size rho * b        (behaves like a cache of size b)
+    partition 2: size (1 - rho) * a  (behaves like a cache of size a)
+
+Each partition then operates at a hull vertex of its own scaled-down
+curve, so total misses interpolate linearly: rho*m(b) + (1-rho)*m(a) —
+the hull.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.curves.miss_curve import MissCurve
+from repro.replacement.lru import LRU
+
+__all__ = ["TalusCache", "talus_split"]
+
+_HASH_MULT = np.uint64(0x9E3779B97F4A7C15)
+
+
+def talus_split(
+    curve: MissCurve, size_bytes: float
+) -> tuple[float, float, float]:
+    """Choose the Talus configuration for a target size.
+
+    Returns:
+        ``(rho, size1_bytes, size2_bytes)`` — the address fraction routed
+        to partition 1 and both partition sizes.  On convex regions of
+        the curve this degenerates to a single partition (rho = 1).
+    """
+    hull = curve.convex_hull()
+    raw = curve.misses
+    chunk = curve.chunk_bytes
+    s_chunks = size_bytes / chunk
+    # Find the enclosing hull vertices a <= S <= b (vertices are the
+    # points where hull == raw curve).
+    vertices = [
+        i for i in range(len(raw)) if abs(hull[i] - raw[i]) < 1e-9 * max(raw[0], 1)
+    ]
+    lower = max((v for v in vertices if v <= s_chunks), default=0)
+    upper = min((v for v in vertices if v >= s_chunks), default=len(raw) - 1)
+    if upper == lower:
+        return 1.0, float(size_bytes), 0.0
+    rho = (s_chunks - lower) / (upper - lower)
+    return rho, rho * upper * chunk, (1 - rho) * lower * chunk
+
+
+class TalusCache:
+    """An event-driven cache achieving convex (hull) performance.
+
+    Args:
+        curve: the access stream's miss curve (used only to choose the
+            shadow-partition configuration, as Talus does with its
+            monitors).
+        size_bytes: total capacity.
+        line_bytes: line size.
+        ways: associativity of each shadow partition.
+    """
+
+    def __init__(
+        self,
+        curve: MissCurve,
+        size_bytes: int,
+        line_bytes: int = 64,
+        ways: int = 16,
+    ) -> None:
+        # Imported here: repro.nuca.banks itself imports the replacement
+        # package, so a module-level import would be circular.
+        from repro.nuca.banks import CacheSim, CacheStats
+
+        self.rho, size1, size2 = talus_split(curve, size_bytes)
+        self._caches: list[CacheSim | None] = []
+        for size in (size1, size2):
+            lines = int(size // line_bytes)
+            # Round to a valid set-associative geometry.
+            lines = max((lines // ways) * ways, 0)
+            if lines >= ways:
+                self._caches.append(
+                    CacheSim(
+                        size_bytes=lines * line_bytes,
+                        ways=ways,
+                        policy_factory=lambda s, w: LRU(s, w),
+                        line_bytes=line_bytes,
+                    )
+                )
+            else:
+                self._caches.append(None)
+        self.stats = CacheStats()
+
+    def _route(self, line_addr: int):
+        # Plain Python ints avoid numpy's overflow warnings on the
+        # wrapping multiply.
+        hashed = ((line_addr * 0x9E3779B97F4A7C15) & ((1 << 64) - 1)) >> 40
+        frac = hashed / float(1 << 24)
+        return self._caches[0] if frac < self.rho else self._caches[1]
+
+    def access(self, line_addr: int) -> bool:
+        """Access one line; returns True on hit."""
+        cache = self._route(int(line_addr))
+        if cache is None:
+            self.stats.misses += 1
+            return False
+        hit = cache.access(int(line_addr))
+        if hit:
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+        return hit
+
+    def run(self, lines: np.ndarray) -> CacheStats:
+        """Simulate a whole trace."""
+        for addr in lines.tolist():
+            self.access(addr)
+        return self.stats

@@ -1,0 +1,57 @@
+"""Cache-management schemes (the paper's comparison set, Appendix A).
+
+- :mod:`repro.schemes.snuca` — S-NUCA with LRU or DRRIP replacement.
+- :mod:`repro.schemes.idealspd` — IdealSPD, the idealized private-baseline
+  D-NUCA upper bound.
+- :mod:`repro.schemes.awasthi` — Awasthi et al., shared-baseline
+  page-migration D-NUCA.
+- :mod:`repro.schemes.jigsaw` — Jigsaw, the partitioned shared-baseline
+  D-NUCA Whirlpool builds on (Whirlpool itself lives in
+  :mod:`repro.core`: it is Jigsaw driven by a pool classifier).
+- :mod:`repro.schemes.placement` — greedy + trading bank placement.
+- :mod:`repro.schemes.classifiers` — region -> VC classification.
+
+All schemes share the :class:`repro.schemes.base.Scheme` interface: per
+reconfiguration interval they receive monitor miss curves (from the
+previous interval, like real hardware), decide an allocation, and account
+time/energy against the interval's actual curves.
+"""
+
+from repro.schemes.awasthi import AwasthiScheme
+from repro.schemes.base import (
+    IntervalStats,
+    Scheme,
+    SchemeResult,
+    VCAllocation,
+    VCSpec,
+)
+from repro.schemes.classifiers import (
+    Classifier,
+    ManualPoolClassifier,
+    PerRegionClassifier,
+    SingleVCClassifier,
+)
+from repro.schemes.idealspd import IdealSPDScheme
+from repro.schemes.jigsaw import JigsawScheme
+from repro.schemes.placement import greedy_placement, trading_placement
+from repro.schemes.rnuca import RNUCAScheme
+from repro.schemes.snuca import SNUCAScheme
+
+__all__ = [
+    "AwasthiScheme",
+    "Classifier",
+    "IdealSPDScheme",
+    "IntervalStats",
+    "JigsawScheme",
+    "ManualPoolClassifier",
+    "PerRegionClassifier",
+    "RNUCAScheme",
+    "Scheme",
+    "SchemeResult",
+    "SNUCAScheme",
+    "SingleVCClassifier",
+    "VCAllocation",
+    "VCSpec",
+    "greedy_placement",
+    "trading_placement",
+]

@@ -1,0 +1,134 @@
+"""Awasthi et al.: shared-baseline page-migration D-NUCA (HPCA 2009).
+
+The OS starts each program with a small allocation (its four closest
+banks) and periodically migrates the most heavily accessed pages toward
+the core, growing or shrinking the allocated region by one bank at a time
+based on observed benefit — a *local*, incremental heuristic.
+
+Why it underperforms Whirlpool (Sec 5 / Fig 9): per-page counters see
+only point samples of the miss curve, so the hill climber compares the
+current allocation against one-bank steps.  On working sets with
+cliff-shaped curves the single-step gain is ~zero until several banks are
+added at once, so the scheme gets stuck at a small allocation and incurs
+more misses.  Page migrations also cost data movement every epoch.
+"""
+
+from __future__ import annotations
+
+from repro.curves.miss_curve import MissCurve
+from repro.nuca.config import SystemConfig
+from repro.schemes.base import IntervalStats, Scheme, VCAllocation, VCSpec
+
+__all__ = ["AwasthiScheme"]
+
+#: Initial allocation: the four closest banks (paper Sec 4.5).
+INITIAL_BANKS = 4
+
+#: Relative single-step improvement needed to grow/shrink (hysteresis).
+STEP_THRESHOLD = 0.02
+
+#: Growing by one bank also requires the *per-page* benefit to be
+#: visible: page counters only justify migrating pages whose individual
+#: miss reduction stands out, so diffuse gains spread over a whole bank
+#: of pages leave the allocation stuck (the Fig 9 local optimum).
+MISS_STEP_FRACTION = 0.06
+
+#: Pages migrated per epoch (per program), and lines per page.
+PAGES_PER_EPOCH = 256
+LINES_PER_PAGE = 4096 // 64
+
+
+class AwasthiScheme(Scheme):
+    """Incremental page-placement D-NUCA.
+
+    Args:
+        config: system configuration.
+        vcs: VC layout (one per program).
+        alpha_a: relative AMAT improvement required to accept a grow or
+            shrink step (the scheme's cost-benefit threshold; the paper
+            sweeps the implementation parameters αA, αB to find the
+            best-performing values — see ``benchmarks/test_ext_awasthi_
+            sweep.py``).
+        alpha_b: per-page visibility threshold — the fraction of current
+            misses a one-bank step must remove before per-page counters
+            justify migrating (see :data:`MISS_STEP_FRACTION`).
+    """
+
+    name = "Awasthi"
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        vcs: list[VCSpec],
+        alpha_a: float = STEP_THRESHOLD,
+        alpha_b: float = MISS_STEP_FRACTION,
+    ) -> None:
+        super().__init__(config, vcs)
+        if not 0 <= alpha_a < 1 or not 0 <= alpha_b < 1:
+            raise ValueError("alpha_a and alpha_b must be in [0, 1)")
+        self.alpha_a = alpha_a
+        self.alpha_b = alpha_b
+        self._banks: dict[int, int] = {vc: INITIAL_BANKS for vc in self.vcs}
+
+    def _amat(self, curve: MissCurve, core: int, n_banks: int) -> float:
+        """Average stall cycles per instruction at an allocation size."""
+        cfg = self.config
+        size = n_banks * cfg.geometry.bank_bytes
+        hops = cfg.geometry.reach_avg_hops(core, size)
+        mem_hops = cfg.geometry.mem_hops(core)
+        penalty = cfg.latency.mem_latency + 2 * cfg.latency.hop_latency * mem_hops
+        misses = min(curve.misses_at(size), curve.accesses)
+        access_lat = cfg.latency.bank_latency + 2 * cfg.latency.hop_latency * hops
+        return (curve.accesses * access_lat + misses * penalty) / max(
+            curve.instructions, 1e-9
+        )
+
+    def decide(self, decide_curves: dict[int, MissCurve]) -> dict[int, VCAllocation]:
+        cfg = self.config
+        out: dict[int, VCAllocation] = {}
+        max_banks = cfg.geometry.n_banks
+        for vc_id, spec in self.vcs.items():
+            curve = decide_curves.get(vc_id)
+            n = self._banks[vc_id]
+            if curve is not None and curve.accesses > 0:
+                cur = self._amat(curve, spec.owner_core, n)
+                bank = cfg.geometry.bank_bytes
+                if n < max_banks:
+                    grow = self._amat(curve, spec.owner_core, n + 1)
+                    cur_misses = max(curve.misses_at(n * bank), 1e-9)
+                    step_misses = cur_misses - curve.misses_at((n + 1) * bank)
+                    per_page_visible = (
+                        step_misses > self.alpha_b * cur_misses
+                    )
+                    if grow < cur * (1 - self.alpha_a) and per_page_visible:
+                        n += 1
+                if n > 1:
+                    shrink = self._amat(curve, spec.owner_core, n - 1)
+                    if shrink < cur * (1 - self.alpha_a):
+                        n -= 1
+                self._banks[vc_id] = n
+            size = n * cfg.geometry.bank_bytes
+            out[vc_id] = VCAllocation(
+                size_bytes=float(size),
+                avg_hops=cfg.geometry.reach_avg_hops(spec.owner_core, size),
+            )
+        return out
+
+    def account(
+        self,
+        allocations: dict[int, VCAllocation],
+        actual_curves: dict[int, MissCurve],
+        instructions: float,
+    ) -> IntervalStats:
+        stats = super().account(allocations, actual_curves, instructions)
+        # Page-migration churn: moving hot pages toward the core each
+        # epoch costs one line transfer per line of each moved page.
+        cfg = self.config
+        for vc_id, curve in actual_curves.items():
+            if curve.accesses <= 0:
+                continue
+            spec = self.vcs[vc_id]
+            hops = allocations[vc_id].avg_hops + 1.0
+            moved_lines = PAGES_PER_EPOCH * LINES_PER_PAGE
+            stats.energy = stats.energy + cfg.energy.migration(hops, moved_lines)
+        return stats

@@ -1,0 +1,226 @@
+"""Scheme interface and time/energy accounting.
+
+A scheme is driven interval by interval (the paper reconfigures every
+25 ms; see ``SystemConfig.reconfig_instructions`` for the scaled-down
+stand-in).  Each step receives:
+
+- ``decide_curves`` — per-VC miss curves monitored over the *previous*
+  interval (what real utility monitors provide), and
+- ``actual_curves`` — the current interval's curves, used for accounting.
+
+The default accounting follows Jigsaw's additive latency model (Sec 2.4):
+data stalls = accesses × (bank + network RTT) + misses × miss penalty,
+and per-event data-movement energy from :class:`repro.nuca.EnergyModel`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.curves.miss_curve import MissCurve
+from repro.nuca.config import SystemConfig
+from repro.nuca.energy import EnergyBreakdown
+from repro.nuca.geometry import Placement
+
+__all__ = ["VCSpec", "VCAllocation", "IntervalStats", "SchemeResult", "Scheme"]
+
+
+@dataclass(frozen=True)
+class VCSpec:
+    """Static description of one virtual cache.
+
+    Attributes:
+        vc_id: unique id.
+        name: human-readable name (pool name, or "process").
+        owner_core: the core whose accesses dominate this VC.
+        bypassable: True if the VC may be bypassed (single-thread rule,
+            Sec 3.2).
+    """
+
+    vc_id: int
+    name: str
+    owner_core: int = 0
+    bypassable: bool = True
+
+
+@dataclass
+class VCAllocation:
+    """One interval's allocation decision for one VC.
+
+    Attributes:
+        size_bytes: LLC capacity granted.
+        avg_hops: average one-way hops from the owner core to the VC's
+            banks (from the placement).
+        bypass: True if the VC is bypassed this interval (implies
+            ``size_bytes == 0``).
+        placement: per-bank capacity (None for schemes that spread data,
+            e.g. S-NUCA).
+    """
+
+    size_bytes: float
+    avg_hops: float
+    bypass: bool = False
+    placement: Placement | None = None
+
+
+@dataclass
+class IntervalStats:
+    """Measured outcome of one interval.
+
+    ``stall_cycles`` are data-stall cycles attributable to LLC + memory;
+    cycles = instructions × base CPI + stalls (single-core programs).
+    """
+
+    instructions: float
+    hits: float = 0.0
+    misses: float = 0.0
+    bypasses: float = 0.0
+    stall_cycles: float = 0.0
+    energy: EnergyBreakdown = field(default_factory=EnergyBreakdown)
+    vc_sizes: dict[int, float] = field(default_factory=dict)
+    vc_hops: dict[int, float] = field(default_factory=dict)
+    vc_bypass: dict[int, bool] = field(default_factory=dict)
+    vc_accesses: dict[int, float] = field(default_factory=dict)
+    vc_misses: dict[int, float] = field(default_factory=dict)
+    vc_stalls: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def accesses(self) -> float:
+        """LLC-level accesses (hits + misses + bypasses)."""
+        return self.hits + self.misses + self.bypasses
+
+
+@dataclass
+class SchemeResult:
+    """Accumulated simulation result for one workload under one scheme."""
+
+    name: str
+    base_cpi: float
+    instructions: float = 0.0
+    hits: float = 0.0
+    misses: float = 0.0
+    bypasses: float = 0.0
+    stall_cycles: float = 0.0
+    energy: EnergyBreakdown = field(default_factory=EnergyBreakdown)
+    history: list[IntervalStats] = field(default_factory=list)
+
+    def add(self, stats: IntervalStats) -> None:
+        """Fold one interval into the totals."""
+        self.instructions += stats.instructions
+        self.hits += stats.hits
+        self.misses += stats.misses
+        self.bypasses += stats.bypasses
+        self.stall_cycles += stats.stall_cycles
+        self.energy = self.energy + stats.energy
+        self.history.append(stats)
+
+    @property
+    def cycles(self) -> float:
+        """Execution time in cycles."""
+        return self.instructions * self.base_cpi + self.stall_cycles
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle."""
+        return self.instructions / max(self.cycles, 1e-9)
+
+    @property
+    def data_stall_cpi(self) -> float:
+        """Cycles per instruction stalled on data (Fig 8b's unit)."""
+        return self.stall_cycles / max(self.instructions, 1e-9)
+
+    def apki_breakdown(self) -> dict[str, float]:
+        """LLC accesses per kilo-instruction, split as in Fig 10 (right)."""
+        k = 1000.0 / max(self.instructions, 1e-9)
+        return {
+            "hits": self.hits * k,
+            "misses": self.misses * k,
+            "bypasses": self.bypasses * k,
+        }
+
+
+class Scheme(ABC):
+    """Interval-driven cache management scheme."""
+
+    #: Display name (overridden per scheme).
+    name: str = "scheme"
+
+    #: If True, misses are accounted on the convex hull of each VC's miss
+    #: curve: the scheme partitions within VCs (Talus), so it actually
+    #: achieves hull performance.  Jigsaw/Whirlpool set this (the paper
+    #: assumes convex per-VC performance, Sec 4.2); page-grained or plain
+    #: LRU schemes do not.
+    hull_accounting: bool = False
+
+    def __init__(self, config: SystemConfig, vcs: list[VCSpec]) -> None:
+        self.config = config
+        self.vcs = {vc.vc_id: vc for vc in vcs}
+
+    @abstractmethod
+    def decide(
+        self, decide_curves: dict[int, MissCurve]
+    ) -> dict[int, VCAllocation]:
+        """Choose this interval's allocation from monitored curves."""
+
+    def step(
+        self,
+        decide_curves: dict[int, MissCurve],
+        actual_curves: dict[int, MissCurve],
+        instructions: float,
+    ) -> IntervalStats:
+        """Decide from monitor data, then account the actual interval."""
+        allocations = self.decide(decide_curves)
+        return self.account(allocations, actual_curves, instructions)
+
+    # ------------------------------------------------------------------
+    # Default accounting (shared-baseline schemes)
+    # ------------------------------------------------------------------
+    def account(
+        self,
+        allocations: dict[int, VCAllocation],
+        actual_curves: dict[int, MissCurve],
+        instructions: float,
+    ) -> IntervalStats:
+        """Jigsaw-model accounting of one interval."""
+        cfg = self.config
+        stats = IntervalStats(instructions=instructions)
+        for vc_id, curve in actual_curves.items():
+            alloc = allocations.get(vc_id)
+            if alloc is None:
+                alloc = VCAllocation(size_bytes=0.0, avg_hops=0.0, bypass=False)
+            spec = self.vcs[vc_id]
+            mem_hops = cfg.geometry.mem_hops(spec.owner_core)
+            accesses = curve.accesses
+            stats.vc_sizes[vc_id] = alloc.size_bytes
+            stats.vc_hops[vc_id] = alloc.avg_hops
+            stats.vc_bypass[vc_id] = alloc.bypass
+            stats.vc_accesses[vc_id] = accesses
+            penalty = cfg.latency.mem_latency + 2 * cfg.latency.hop_latency * mem_hops
+            if alloc.bypass:
+                stats.bypasses += accesses
+                stats.vc_misses[vc_id] = accesses
+                stalls = accesses * penalty
+                stats.energy = stats.energy + cfg.energy.memory_access(
+                    mem_hops, accesses
+                )
+            else:
+                model = curve.hull_curve() if self.hull_accounting else curve
+                misses = min(model.misses_at(alloc.size_bytes), accesses)
+                hits = accesses - misses
+                stats.hits += hits
+                stats.misses += misses
+                stats.vc_misses[vc_id] = misses
+                access_lat = (
+                    cfg.latency.bank_latency
+                    + 2 * cfg.latency.hop_latency * alloc.avg_hops
+                )
+                stalls = accesses * access_lat + misses * penalty
+                stats.energy = (
+                    stats.energy
+                    + cfg.energy.llc_access(alloc.avg_hops, accesses)
+                    + cfg.energy.memory_access(mem_hops, misses)
+                )
+            stats.vc_stalls[vc_id] = stalls
+            stats.stall_cycles += stalls
+        return stats

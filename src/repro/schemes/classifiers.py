@@ -1,0 +1,103 @@
+"""Region -> VC classification strategies.
+
+A classifier turns a workload's fine-grained regions (allocation
+callpoints) into the VC layout a scheme manages:
+
+- :class:`SingleVCClassifier` — everything in one process VC.  This is
+  what Jigsaw (and the monolithic baselines) see: they are "blind to
+  program semantics" (Sec 2.1).
+- :class:`ManualPoolClassifier` — the Table-2 hand classification.
+- :class:`PerRegionClassifier` — one VC per callpoint (used by WhirlTool
+  internals and diagnostics; real hardware cannot afford this).
+
+WhirlTool's profile-driven classifier lives in
+:mod:`repro.core.whirltool.runtime`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.schemes.base import VCSpec
+from repro.workloads.trace import Workload
+
+__all__ = [
+    "Classifier",
+    "SingleVCClassifier",
+    "ManualPoolClassifier",
+    "PerRegionClassifier",
+]
+
+
+class Classifier(ABC):
+    """Maps a workload's regions onto VCs."""
+
+    #: Display name.
+    name: str = "classifier"
+
+    @abstractmethod
+    def classify(
+        self, workload: Workload, owner_core: int = 0
+    ) -> tuple[dict[int, int], list[VCSpec]]:
+        """Return ``(region id -> vc id, VC specs)``."""
+
+
+class SingleVCClassifier(Classifier):
+    """All regions share one process-level VC."""
+
+    name = "single-vc"
+
+    def classify(
+        self, workload: Workload, owner_core: int = 0
+    ) -> tuple[dict[int, int], list[VCSpec]]:
+        vc = VCSpec(vc_id=0, name="process", owner_core=owner_core)
+        mapping = {rid: 0 for rid in workload.region_names}
+        return mapping, [vc]
+
+
+class ManualPoolClassifier(Classifier):
+    """The Table-2 manual classification (one VC per hand-chosen pool).
+
+    Regions the programmer did not classify fall into the process VC.
+    Raises if the workload was never ported (no manual pool info).
+    """
+
+    name = "manual"
+
+    def classify(
+        self, workload: Workload, owner_core: int = 0
+    ) -> tuple[dict[int, int], list[VCSpec]]:
+        if not workload.manual_pools:
+            raise ValueError(
+                f"{workload.name} has no manual classification (Table 2)"
+            )
+        pool_names = sorted(set(workload.manual_pools.values()))
+        vc_of_pool = {p: i + 1 for i, p in enumerate(pool_names)}
+        specs = [VCSpec(vc_id=0, name="process", owner_core=owner_core)]
+        specs += [
+            VCSpec(vc_id=vc_of_pool[p], name=p, owner_core=owner_core)
+            for p in pool_names
+        ]
+        mapping = {}
+        for rid in workload.region_names:
+            pool = workload.manual_pools.get(rid)
+            mapping[rid] = vc_of_pool[pool] if pool is not None else 0
+        used = set(mapping.values())
+        specs = [s for s in specs if s.vc_id in used]
+        return mapping, specs
+
+
+class PerRegionClassifier(Classifier):
+    """One VC per region (upper bound on classification granularity)."""
+
+    name = "per-region"
+
+    def classify(
+        self, workload: Workload, owner_core: int = 0
+    ) -> tuple[dict[int, int], list[VCSpec]]:
+        mapping = {}
+        specs = []
+        for i, (rid, rname) in enumerate(sorted(workload.region_names.items())):
+            mapping[rid] = i
+            specs.append(VCSpec(vc_id=i, name=rname, owner_core=owner_core))
+        return mapping, specs

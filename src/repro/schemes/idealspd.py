@@ -1,0 +1,103 @@
+"""IdealSPD: idealized private-baseline D-NUCA (Appendix A).
+
+Each core gets a private 1.5 MB L3 that *replicates* the three closest
+NUCA banks, backed by a fully-provisioned directory and an exclusive
+S-NUCA L4 over the whole LLC (idealized: replication does not reduce
+shared capacity).  This upper-bounds shared-private D-NUCAs (DCC, ASR,
+ECC — Herrero et al.).
+
+Behaviour the paper highlights (Sec 4.5):
+
+- benchmarks whose working set fits the private region perform close to
+  Jigsaw (fast, near hits);
+- benchmarks that do not fit pay multi-level lookups on every miss —
+  private check, then directory + L4 in parallel — which slows misses
+  and makes IdealSPD the most energy-hungry scheme (Fig 10).
+"""
+
+from __future__ import annotations
+
+from repro.curves.miss_curve import MissCurve
+from repro.nuca.config import SystemConfig
+from repro.schemes.base import IntervalStats, Scheme, VCAllocation, VCSpec
+
+__all__ = ["IdealSPDScheme"]
+
+#: Private replicated region: 3 banks of 512 KB.
+PRIVATE_BYTES = 3 * 512 * 1024
+
+
+class IdealSPDScheme(Scheme):
+    """Idealized shared-private D-NUCA."""
+
+    name = "IdealSPD"
+
+    def __init__(self, config: SystemConfig, vcs: list[VCSpec]) -> None:
+        super().__init__(config, vcs)
+
+    def decide(self, decide_curves: dict[int, MissCurve]) -> dict[int, VCAllocation]:
+        out = {}
+        for vc_id, spec in self.vcs.items():
+            out[vc_id] = VCAllocation(
+                size_bytes=float(self.config.llc_bytes),
+                avg_hops=self.config.geometry.snuca_avg_hops(spec.owner_core),
+            )
+        return out
+
+    def account(
+        self,
+        allocations: dict[int, VCAllocation],
+        actual_curves: dict[int, MissCurve],
+        instructions: float,
+    ) -> IntervalStats:
+        cfg = self.config
+        geo = cfg.geometry
+        stats = IntervalStats(instructions=instructions)
+        for vc_id, curve in actual_curves.items():
+            spec = self.vcs[vc_id]
+            # Private region latency: the owner's three closest banks.
+            private_hops = geo.reach_avg_hops(spec.owner_core, PRIVATE_BYTES)
+            accesses = curve.accesses
+            private_hits = accesses - min(
+                curve.misses_at(PRIVATE_BYTES), accesses
+            )
+            l4_lookups = accesses - private_hits
+            total_cap_misses = min(curve.misses_at(cfg.llc_bytes), accesses)
+            l4_hits = max(l4_lookups - total_cap_misses, 0.0)
+            misses = total_cap_misses
+            mem_hops = geo.mem_hops(spec.owner_core)
+            snuca_hops = geo.snuca_avg_hops(spec.owner_core)
+            penalty = cfg.latency.mem_latency + 2 * cfg.latency.hop_latency * mem_hops
+            lat_private = (
+                cfg.latency.bank_latency
+                + 2 * cfg.latency.hop_latency * private_hops
+            )
+            lat_l4 = (
+                cfg.latency.bank_latency  # directory (parallel with L4)
+                + cfg.latency.bank_latency
+                + 2 * cfg.latency.hop_latency * snuca_hops
+            )
+            stalls = (
+                accesses * lat_private  # everyone checks private first
+                + l4_lookups * lat_l4  # then directory + L4
+                + misses * penalty
+            )
+            energy = (
+                cfg.energy.private_access(accesses)
+                + cfg.energy.bank_lookup(l4_lookups)  # directory
+                + cfg.energy.llc_access(snuca_hops, l4_lookups)  # parallel L4
+                + cfg.energy.memory_access(mem_hops, misses)
+                # Replication: L4 hits are pulled into the private region.
+                + cfg.energy.migration(snuca_hops, l4_hits)
+            )
+            stats.hits += private_hits + l4_hits
+            stats.misses += misses
+            stats.stall_cycles += stalls
+            stats.energy = stats.energy + energy
+            stats.vc_sizes[vc_id] = float(cfg.llc_bytes)
+            stats.vc_hops[vc_id] = snuca_hops
+            stats.vc_bypass[vc_id] = False
+            stats.vc_accesses[vc_id] = accesses
+            stats.vc_misses[vc_id] = misses
+            stats.vc_stalls[vc_id] = stalls
+        return stats

@@ -1,0 +1,66 @@
+"""R-NUCA: reactive NUCA (Hardavellas et al., ISCA 2009).
+
+The other shared-baseline D-NUCA the paper discusses (Appendix A:
+"R-NUCA achieves 6.8%/7.2% lower performance than Awasthi on 4-/16-core
+mixes").  R-NUCA classifies pages by usage:
+
+- *private* data maps to the accessing core's local cluster of banks
+  (rotational interleaving over a fixed-size cluster — no global
+  capacity borrowing);
+- *shared* data is address-interleaved across all banks (S-NUCA-style).
+
+Its weakness on big-working-set programs is structural: private data is
+confined to the fixed local cluster regardless of demand, so capacity
+cannot follow the miss curve the way Jigsaw's partitioning does.
+"""
+
+from __future__ import annotations
+
+from repro.curves.miss_curve import MissCurve
+from repro.nuca.config import SystemConfig
+from repro.schemes.base import Scheme, VCAllocation, VCSpec
+
+__all__ = ["RNUCAScheme"]
+
+#: Banks in a core's rotational-interleaving cluster.
+CLUSTER_BANKS = 4
+
+
+class RNUCAScheme(Scheme):
+    """Reactive NUCA with a fixed private cluster per core.
+
+    Single-owner VCs are treated as private data (the dominant case for
+    the paper's single-threaded suite); VCs flagged unbypassable-shared
+    would spread S-NUCA-wide, which this model applies when a VC's spec
+    name is ``"shared"``.
+    """
+
+    name = "R-NUCA"
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        vcs: list[VCSpec],
+        cluster_banks: int = CLUSTER_BANKS,
+    ) -> None:
+        super().__init__(config, vcs)
+        if cluster_banks < 1:
+            raise ValueError(f"cluster_banks must be >= 1, got {cluster_banks}")
+        self.cluster_banks = cluster_banks
+
+    def decide(self, decide_curves: dict[int, MissCurve]) -> dict[int, VCAllocation]:
+        geo = self.config.geometry
+        cluster_bytes = self.cluster_banks * geo.bank_bytes
+        out: dict[int, VCAllocation] = {}
+        for vc_id, spec in self.vcs.items():
+            if spec.name == "shared":
+                out[vc_id] = VCAllocation(
+                    size_bytes=float(self.config.llc_bytes),
+                    avg_hops=geo.snuca_avg_hops(spec.owner_core),
+                )
+            else:
+                out[vc_id] = VCAllocation(
+                    size_bytes=float(cluster_bytes),
+                    avg_hops=geo.reach_avg_hops(spec.owner_core, cluster_bytes),
+                )
+        return out

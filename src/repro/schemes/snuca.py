@@ -1,0 +1,103 @@
+"""S-NUCA: addresses hashed evenly across all banks (Sec 2.1, Fig 3).
+
+The whole LLC acts as one shared cache at the average bank distance; no
+placement decisions are made.  Replacement is LRU or DRRIP:
+
+- LRU misses come straight from the stack-distance curve.
+- DRRIP is modeled as the convex hull of the LRU curve: set-dueling
+  bimodal insertion effectively protects the most valuable fraction of
+  the access stream, removing the cliffs LRU suffers on thrashing
+  patterns (the same argument Talus makes for partitioned LRU).  The
+  event-driven simulator in :mod:`repro.replacement` validates this
+  approximation in the integration tests.
+"""
+
+from __future__ import annotations
+
+from repro.curves.combine import shared_cache_misses
+from repro.curves.miss_curve import MissCurve
+from repro.nuca.config import SystemConfig
+from repro.schemes.base import IntervalStats, Scheme, VCAllocation, VCSpec
+
+__all__ = ["SNUCAScheme"]
+
+
+class SNUCAScheme(Scheme):
+    """Static NUCA with LRU or DRRIP replacement."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        vcs: list[VCSpec],
+        replacement: str = "lru",
+    ) -> None:
+        super().__init__(config, vcs)
+        if replacement not in ("lru", "drrip"):
+            raise ValueError(f"unknown replacement {replacement!r}")
+        self.replacement = replacement
+        self.name = f"S-NUCA/{replacement.upper()}"
+
+    def decide(self, decide_curves: dict[int, MissCurve]) -> dict[int, VCAllocation]:
+        # No decisions: everything shares the whole cache, spread evenly.
+        out = {}
+        for vc_id in self.vcs:
+            spec = self.vcs[vc_id]
+            out[vc_id] = VCAllocation(
+                size_bytes=float(self.config.llc_bytes),
+                avg_hops=self.config.geometry.snuca_avg_hops(spec.owner_core),
+                bypass=False,
+            )
+        return out
+
+    def account(
+        self,
+        allocations: dict[int, VCAllocation],
+        actual_curves: dict[int, MissCurve],
+        instructions: float,
+    ) -> IntervalStats:
+        """Shared-cache accounting.
+
+        All VCs (and in mixes, all programs) share one LRU cache, so
+        misses come from the *combined* curve (Appendix B model), with
+        each VC's share of misses proportional to its flow at the shared
+        operating point.
+        """
+        vc_ids = [vc for vc, c in actual_curves.items() if c.accesses > 0]
+        if not vc_ids:
+            return IntervalStats(instructions=instructions)
+        inputs = [actual_curves[vc] for vc in vc_ids]
+        if self.replacement == "drrip":
+            inputs = [c.hull_curve() for c in inputs]
+        per_vc_misses = dict(
+            zip(vc_ids, shared_cache_misses(inputs, self.config.llc_bytes))
+        )
+        stats = IntervalStats(instructions=instructions)
+        cfg = self.config
+        for vc_id, curve in actual_curves.items():
+            spec = self.vcs[vc_id]
+            alloc = allocations[vc_id]
+            accesses = curve.accesses
+            misses = min(per_vc_misses.get(vc_id, 0.0), accesses)
+            hits = accesses - misses
+            mem_hops = cfg.geometry.mem_hops(spec.owner_core)
+            penalty = cfg.latency.mem_latency + 2 * cfg.latency.hop_latency * mem_hops
+            access_lat = (
+                cfg.latency.bank_latency
+                + 2 * cfg.latency.hop_latency * alloc.avg_hops
+            )
+            stalls = accesses * access_lat + misses * penalty
+            stats.hits += hits
+            stats.misses += misses
+            stats.stall_cycles += stalls
+            stats.energy = (
+                stats.energy
+                + cfg.energy.llc_access(alloc.avg_hops, accesses)
+                + cfg.energy.memory_access(mem_hops, misses)
+            )
+            stats.vc_sizes[vc_id] = alloc.size_bytes
+            stats.vc_hops[vc_id] = alloc.avg_hops
+            stats.vc_bypass[vc_id] = False
+            stats.vc_accesses[vc_id] = accesses
+            stats.vc_misses[vc_id] = misses
+            stats.vc_stalls[vc_id] = stalls
+        return stats

@@ -1,0 +1,31 @@
+"""Trace-driven simulation drivers.
+
+- :mod:`repro.sim.profiling` — per-VC per-interval miss-curve profiling
+  with an on-disk cache (profiling is the expensive step; every scheme
+  evaluated on the same workload + classification reuses it).
+- :mod:`repro.sim.driver` — single-program simulation: profile, then
+  step the scheme interval by interval.
+- :mod:`repro.sim.multi` — multiprogrammed mixes and weighted speedup
+  (Fig 22 methodology).
+"""
+
+from repro.sim.driver import default_intervals, default_sample_shift, simulate
+from repro.sim.multi import MixResult, simulate_mix, weighted_speedup
+from repro.sim.prefetch import apply_stream_prefetcher, prefetch_energy
+from repro.sim.profiling import profile_vcs
+from repro.sim.sweep import SweepResult, sweep, vary_config
+
+__all__ = [
+    "MixResult",
+    "apply_stream_prefetcher",
+    "prefetch_energy",
+    "default_intervals",
+    "default_sample_shift",
+    "profile_vcs",
+    "simulate",
+    "simulate_mix",
+    "sweep",
+    "SweepResult",
+    "vary_config",
+    "weighted_speedup",
+]

@@ -1,0 +1,156 @@
+"""Per-VC, per-interval miss-curve profiling with an on-disk cache.
+
+Profiling (stack distances over each VC's access stream) is by far the
+most expensive step of the evaluation pipeline, and every scheme that
+shares a VC layout reuses the same curves, so results are cached on disk
+keyed by a fingerprint of (trace, VC mapping, grid parameters).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.curves.miss_curve import MissCurve
+from repro.curves.reuse import StackDistanceProfiler
+from repro.workloads.trace import Trace
+
+__all__ = ["profile_vcs", "cache_dir", "clear_cache"]
+
+_ENV_CACHE = "REPRO_PROFILE_CACHE"
+
+
+def cache_dir() -> Path:
+    """Directory for cached profiles (override with $REPRO_PROFILE_CACHE)."""
+    root = os.environ.get(_ENV_CACHE)
+    if root:
+        return Path(root)
+    return Path(__file__).resolve().parents[3] / ".profile_cache"
+
+
+def clear_cache() -> int:
+    """Delete all cached profiles; returns the number of files removed."""
+    directory = cache_dir()
+    if not directory.exists():
+        return 0
+    n = 0
+    for f in directory.glob("*.npz"):
+        f.unlink()
+        n += 1
+    return n
+
+
+def _fingerprint(
+    trace: Trace,
+    mapping: dict[int, int],
+    chunk_bytes: int,
+    n_chunks: int,
+    n_intervals: int,
+    sample_shift: int,
+) -> str:
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(trace.lines[::257]).tobytes())
+    h.update(np.ascontiguousarray(trace.regions[::257]).tobytes())
+    h.update(
+        f"{len(trace)}|{trace.instructions}|{chunk_bytes}|{n_chunks}|"
+        f"{n_intervals}|{sample_shift}".encode()
+    )
+    for rid in sorted(mapping):
+        h.update(f"{rid}:{mapping[rid]};".encode())
+    return h.hexdigest()[:32]
+
+
+def profile_vcs(
+    trace: Trace,
+    mapping: dict[int, int],
+    chunk_bytes: int,
+    n_chunks: int,
+    n_intervals: int = 1,
+    sample_shift: int = 0,
+    use_cache: bool = True,
+) -> dict[int, list[MissCurve]]:
+    """Profile a trace into per-VC, per-interval miss curves.
+
+    Args:
+        trace: the workload trace.
+        mapping: region id -> VC id (the classifier's output).  Regions
+            missing from the mapping fall into VC 0.
+        chunk_bytes / n_chunks: miss-curve size grid.
+        n_intervals: reconfiguration intervals.
+        sample_shift: address sampling (see
+            :class:`~repro.curves.reuse.StackDistanceProfiler`).
+        use_cache: read/write the on-disk cache.
+    """
+    key = None
+    if use_cache:
+        key = _fingerprint(
+            trace, mapping, chunk_bytes, n_chunks, n_intervals, sample_shift
+        )
+        cached = _load(key, chunk_bytes, n_intervals)
+        if cached is not None:
+            return cached
+
+    # Relabel the trace's regions with VC ids.
+    max_rid = int(trace.regions.max()) if len(trace.regions) else 0
+    lut = np.zeros(max_rid + 1, dtype=np.int32)
+    for rid, vc in mapping.items():
+        if 0 <= rid <= max_rid:
+            lut[rid] = vc
+    vc_ids = lut[trace.regions]
+    profiler = StackDistanceProfiler(
+        chunk_bytes=chunk_bytes,
+        n_chunks=n_chunks,
+        line_bytes=trace.line_bytes,
+        sample_shift=sample_shift,
+    )
+    curves = profiler.profile(
+        trace.lines, vc_ids, trace.instructions, n_intervals=n_intervals
+    )
+    if use_cache and key is not None:
+        _store(key, curves)
+    return curves
+
+
+def _load(
+    key: str, chunk_bytes: int, n_intervals: int
+) -> dict[int, list[MissCurve]] | None:
+    path = cache_dir() / f"{key}.npz"
+    if not path.exists():
+        return None
+    try:
+        data = np.load(path)
+    except (OSError, ValueError):
+        return None
+    out: dict[int, list[MissCurve]] = {}
+    vc_ids = data["vc_ids"]
+    for i, vc in enumerate(vc_ids.tolist()):
+        curves = []
+        for t in range(n_intervals):
+            curves.append(
+                MissCurve(
+                    misses=data[f"m_{i}_{t}"],
+                    chunk_bytes=chunk_bytes,
+                    accesses=float(data[f"a_{i}"][t]),
+                    instructions=float(data[f"i_{i}"][t]),
+                )
+            )
+        out[int(vc)] = curves
+    return out
+
+
+def _store(key: str, curves: dict[int, list[MissCurve]]) -> None:
+    directory = cache_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    payload: dict[str, np.ndarray] = {
+        "vc_ids": np.array(sorted(curves), dtype=np.int64)
+    }
+    for i, vc in enumerate(sorted(curves)):
+        series = curves[vc]
+        payload[f"a_{i}"] = np.array([c.accesses for c in series])
+        payload[f"i_{i}"] = np.array([c.instructions for c in series])
+        for t, c in enumerate(series):
+            payload[f"m_{i}_{t}"] = c.misses
+    np.savez_compressed(directory / f"{key}.npz", **payload)

@@ -1,0 +1,134 @@
+"""Parameter-sweep utilities for sensitivity studies.
+
+A downstream user's first question is usually "does the conclusion hold
+if I change X?"  This module sweeps one configuration axis at a time
+(LLC capacity, bank latency, memory latency, mesh dimension, hop
+latency) and re-runs a scheme comparison at each point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.nuca.config import SystemConfig
+from repro.nuca.geometry import MeshGeometry
+from repro.curves.latency import LatencyModel
+from repro.schemes.base import SchemeResult
+from repro.sim.driver import SchemeFactory, simulate
+from repro.workloads.trace import Workload
+
+__all__ = ["SweepResult", "sweep", "vary_config"]
+
+
+@dataclass
+class SweepResult:
+    """Results of one sweep.
+
+    Attributes:
+        axis: the swept parameter's name.
+        points: parameter values.
+        results: per point, scheme name -> SchemeResult.
+    """
+
+    axis: str
+    points: list = field(default_factory=list)
+    results: list[dict[str, SchemeResult]] = field(default_factory=list)
+
+    def series(self, scheme: str, metric: str = "cycles") -> list[float]:
+        """One scheme's metric across the sweep."""
+        return [getattr(r[scheme], metric) for r in self.results]
+
+    def relative_series(
+        self, scheme: str, baseline: str, metric: str = "cycles"
+    ) -> list[float]:
+        """scheme/baseline ratio across the sweep."""
+        return [
+            getattr(r[scheme], metric) / getattr(r[baseline], metric)
+            for r in self.results
+        ]
+
+
+def vary_config(config: SystemConfig, axis: str, value) -> SystemConfig:
+    """A copy of ``config`` with one parameter changed.
+
+    Supported axes: ``mesh_dim``, ``bank_kb``, ``bank_latency``,
+    ``hop_latency``, ``mem_latency``, ``base_cpi``.
+    """
+    geo = config.geometry
+    latency = config.latency
+    if axis == "mesh_dim":
+        geo = MeshGeometry(
+            dim=int(value),
+            n_cores=geo.n_cores,
+            bank_bytes=geo.bank_bytes,
+            n_mcus=len(geo.mcu_entries),
+        )
+    elif axis == "bank_kb":
+        geo = MeshGeometry(
+            dim=geo.dim,
+            n_cores=geo.n_cores,
+            bank_bytes=int(value) * 1024,
+            n_mcus=len(geo.mcu_entries),
+        )
+    elif axis in ("bank_latency", "hop_latency", "mem_latency"):
+        kwargs = {
+            "bank_latency": latency.bank_latency,
+            "hop_latency": latency.hop_latency,
+            "mem_latency": latency.mem_latency,
+            "mem_hops": latency.mem_hops,
+        }
+        kwargs[axis] = float(value)
+        latency = LatencyModel(**kwargs)
+    elif axis == "base_cpi":
+        pass  # handled below
+    else:
+        raise ValueError(f"unknown sweep axis {axis!r}")
+    return SystemConfig(
+        name=f"{config.name} [{axis}={value}]",
+        geometry=geo,
+        latency=latency,
+        energy=config.energy,
+        line_bytes=config.line_bytes,
+        l2_bytes=config.l2_bytes,
+        base_cpi=float(value) if axis == "base_cpi" else config.base_cpi,
+        reconfig_instructions=config.reconfig_instructions,
+        chunk_bytes=config.chunk_bytes,
+    )
+
+
+def sweep(
+    workload: Workload,
+    config: SystemConfig,
+    axis: str,
+    values: list,
+    factories: dict[str, SchemeFactory],
+    classifiers: dict[str, Callable] | None = None,
+    **simulate_kwargs,
+) -> SweepResult:
+    """Run several schemes across one configuration axis.
+
+    Args:
+        workload: the program.
+        config: base configuration.
+        axis: parameter to vary (see :func:`vary_config`).
+        values: parameter values.
+        factories: scheme name -> factory.
+        classifiers: optional scheme name -> classifier.
+        simulate_kwargs: forwarded to :func:`repro.sim.simulate`.
+    """
+    out = SweepResult(axis=axis, points=list(values))
+    classifiers = classifiers or {}
+    for value in values:
+        cfg = vary_config(config, axis, value)
+        point = {}
+        for name, factory in factories.items():
+            point[name] = simulate(
+                workload,
+                cfg,
+                factory,
+                classifier=classifiers.get(name),
+                **simulate_kwargs,
+            )
+        out.results.append(point)
+    return out

@@ -1,0 +1,35 @@
+"""Multiprogrammed mixes of SPEC apps (Fig 22 methodology).
+
+The paper runs 20 mixes of randomly-chosen memory-intensive SPEC apps on
+the 4- and 16-core chips with a fixed-work methodology.  A mix here is a
+list of per-core workloads; the multiprogram driver runs them side by
+side and reports weighted speedup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.registry import SPEC_APPS, build_workload
+from repro.workloads.trace import Workload
+
+__all__ = ["make_mix", "make_mixes"]
+
+
+def make_mix(n_cores: int, seed: int, scale: str = "ref") -> list[Workload]:
+    """One random mix: ``n_cores`` SPEC apps chosen with replacement."""
+    rng = np.random.default_rng(seed)
+    names = rng.choice(SPEC_APPS, size=n_cores, replace=True)
+    return [
+        build_workload(str(name), scale=scale, seed=seed * 31 + i)
+        for i, name in enumerate(names)
+    ]
+
+
+def make_mixes(
+    n_mixes: int, n_cores: int, scale: str = "ref", base_seed: int = 1000
+) -> list[list[Workload]]:
+    """The Fig 22 experiment set: ``n_mixes`` random mixes."""
+    return [
+        make_mix(n_cores, seed=base_seed + k, scale=scale) for k in range(n_mixes)
+    ]

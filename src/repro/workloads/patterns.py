@@ -1,0 +1,109 @@
+"""Reusable access-pattern primitives for workload generators.
+
+These produce *byte-address* streams over an :class:`Allocation`.  They
+model what an L2-filtered access stream looks like for common idioms:
+sequential scans touch each line once; working-set random access produces
+reuse at the working-set stack distance; Zipf access produces a smooth
+miss-rate curve; pointer chases are permutation walks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mem.allocator import Allocation
+
+__all__ = [
+    "scan",
+    "repeated_scan",
+    "uniform_random",
+    "zipf_random",
+    "pointer_chase",
+    "strided",
+    "gather",
+]
+
+
+def _line_base(alloc: Allocation, line_bytes: int) -> tuple[int, int]:
+    n_lines = max(1, alloc.size // line_bytes)
+    return alloc.base, n_lines
+
+
+def scan(alloc: Allocation, line_bytes: int = 64) -> np.ndarray:
+    """One sequential pass over the allocation, one access per line."""
+    base, n_lines = _line_base(alloc, line_bytes)
+    return base + np.arange(n_lines, dtype=np.int64) * line_bytes
+
+
+def repeated_scan(
+    alloc: Allocation, passes: int, line_bytes: int = 64
+) -> np.ndarray:
+    """``passes`` sequential sweeps (stencil-style reuse at WS distance)."""
+    one = scan(alloc, line_bytes)
+    return np.tile(one, passes)
+
+
+def strided(
+    alloc: Allocation, stride_bytes: int, count: int, line_bytes: int = 64
+) -> np.ndarray:
+    """Strided walk, wrapping at the end of the allocation."""
+    if stride_bytes <= 0:
+        raise ValueError(f"stride_bytes must be positive, got {stride_bytes}")
+    offs = (np.arange(count, dtype=np.int64) * stride_bytes) % max(
+        alloc.size - line_bytes + 1, 1
+    )
+    return alloc.base + offs
+
+
+def uniform_random(
+    rng: np.random.Generator, alloc: Allocation, count: int, line_bytes: int = 64
+) -> np.ndarray:
+    """Uniform random line accesses within the allocation."""
+    base, n_lines = _line_base(alloc, line_bytes)
+    idx = rng.integers(0, n_lines, size=count, dtype=np.int64)
+    return base + idx * line_bytes
+
+
+def zipf_random(
+    rng: np.random.Generator,
+    alloc: Allocation,
+    count: int,
+    alpha: float = 1.2,
+    line_bytes: int = 64,
+) -> np.ndarray:
+    """Zipf-skewed random line accesses (hot-head reuse).
+
+    Line popularity ranks are shuffled so the hot lines are spread over
+    the allocation rather than packed at its start.
+    """
+    base, n_lines = _line_base(alloc, line_bytes)
+    ranks = rng.zipf(alpha, size=count).astype(np.int64)
+    ranks = (ranks - 1) % n_lines
+    # Fixed permutation decouples rank from address.
+    perm_rng = np.random.default_rng(0xC0FFEE ^ n_lines)
+    perm = perm_rng.permutation(n_lines)
+    return base + perm[ranks] * line_bytes
+
+
+def pointer_chase(
+    rng: np.random.Generator,
+    alloc: Allocation,
+    count: int,
+    line_bytes: int = 64,
+) -> np.ndarray:
+    """A random-permutation walk (linked-list traversal).
+
+    Touches lines in a fixed pseudo-random cycle: full-working-set reuse
+    distance, like mcf's node walks.
+    """
+    base, n_lines = _line_base(alloc, line_bytes)
+    perm = rng.permutation(n_lines)
+    idx = perm[np.arange(count, dtype=np.int64) % n_lines]
+    return base + idx * line_bytes
+
+
+def gather(
+    alloc: Allocation, indices: np.ndarray, elem_bytes: int
+) -> np.ndarray:
+    """Element accesses ``alloc[indices]`` (CSR gathers, hash probes)."""
+    return alloc.base + np.asarray(indices, dtype=np.int64) * elem_bytes

@@ -1,0 +1,58 @@
+"""PBBS benchmark kernels (Shun et al., SPAA 2012), instrumented.
+
+Each builder executes a genuine (vectorized) version of the kernel on a
+random input, allocating its data structures from named pools and
+emitting the resulting LLC access stream.  The eight applications ported
+manually in the paper (Table 2) carry their manual pool classification.
+
+Modules
+-------
+- :mod:`repro.workloads.pbbs.graph_apps` — BFS, MIS, matching, MST, ST
+  (spanning forest), setCover.
+- :mod:`repro.workloads.pbbs.geometry_apps` — delaunay (dt), refine,
+  hull, neighbors, ray.
+- :mod:`repro.workloads.pbbs.sequence_apps` — sort, isort, SA, dict,
+  remDups.
+"""
+
+from repro.workloads.pbbs.geometry_apps import (
+    build_delaunay,
+    build_hull,
+    build_neighbors,
+    build_ray,
+    build_refine,
+)
+from repro.workloads.pbbs.graph_apps import (
+    build_bfs,
+    build_matching,
+    build_mis,
+    build_mst,
+    build_setcover,
+    build_st,
+)
+from repro.workloads.pbbs.sequence_apps import (
+    build_dict,
+    build_isort,
+    build_remdups,
+    build_sa,
+    build_sort,
+)
+
+__all__ = [
+    "build_bfs",
+    "build_delaunay",
+    "build_dict",
+    "build_hull",
+    "build_isort",
+    "build_matching",
+    "build_mis",
+    "build_mst",
+    "build_neighbors",
+    "build_ray",
+    "build_refine",
+    "build_remdups",
+    "build_sa",
+    "build_setcover",
+    "build_sort",
+    "build_st",
+]

@@ -1,0 +1,201 @@
+"""PBBS sequence kernels: sort, isort, SA (suffix array), dict, remDups.
+
+sort and isort are pass-structured (repeated scans); SA is the paper's
+example of Whirlpool *growing* its allocation to retain more working set
+(Fig 20); dict and remDups are hash-table workloads with skewed bucket
+reuse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mem.allocator import HeapAllocator, PoolAllocator
+from repro.workloads import patterns
+from repro.workloads.trace import TraceBuilder, Workload
+
+__all__ = [
+    "build_sort",
+    "build_isort",
+    "build_sa",
+    "build_dict",
+    "build_remdups",
+]
+
+_WORD = 8
+_MB = 1 << 20
+
+
+def build_sort(scale: str = "ref", seed: int = 0) -> Workload:
+    """Comparison sort (mergesort): log n alternating scans of two buffers."""
+    big = scale in ("ref", "large")
+    data_bytes = (8 * _MB) if big else (2 * _MB)
+    heap = HeapAllocator()
+    alloc = PoolAllocator(heap)
+    data_a = alloc.malloc(data_bytes, "data")
+    temp_a = alloc.malloc(data_bytes, "temp")
+
+    tb = TraceBuilder()
+    r_data = tb.region("data", data_a)
+    r_temp = tb.region("temp", temp_a)
+
+    n_passes = 8  # truncated merge cascade (lower levels are L2-resident)
+    for p in range(n_passes):
+        src, dst = (r_data, r_temp) if p % 2 == 0 else (r_temp, r_data)
+        src_a, dst_a = (data_a, temp_a) if p % 2 == 0 else (temp_a, data_a)
+        tb.access_interleaved(
+            {
+                src: patterns.scan(src_a),
+                dst: patterns.scan(dst_a),
+            }
+        )
+        del src, dst
+    trace = tb.finalize(apki=18.0)
+    return Workload(name="sort", trace=trace, heap=heap)
+
+
+def build_isort(scale: str = "ref", seed: int = 0) -> Workload:
+    """Integer (counting) sort: stream input, random counts, stream output."""
+    big = scale in ("ref", "large")
+    n_keys = (1_500_000) if big else (400_000)
+    n_buckets = 262_144
+    rng = np.random.default_rng(seed + 3)
+    heap = HeapAllocator()
+    alloc = PoolAllocator(heap)
+    input_a = alloc.malloc(n_keys * _WORD, "input")
+    counts_a = alloc.malloc(n_buckets * _WORD, "counts")
+    output_a = alloc.malloc(n_keys * _WORD, "output")
+
+    tb = TraceBuilder()
+    r_in = tb.region("input", input_a)
+    r_cnt = tb.region("counts", counts_a)
+    r_out = tb.region("output", output_a)
+
+    keys = rng.integers(0, n_buckets, size=n_keys, dtype=np.int64)
+    # Pass 1: count.
+    tb.access_interleaved(
+        {
+            r_in: patterns.scan(input_a),
+            r_cnt: patterns.gather(counts_a, keys, _WORD),
+        }
+    )
+    # Pass 2: scatter.
+    tb.access_interleaved(
+        {
+            r_in: patterns.scan(input_a),
+            r_cnt: patterns.gather(counts_a, keys, _WORD),
+            r_out: patterns.scan(output_a),
+        }
+    )
+    trace = tb.finalize(apki=20.0)
+    return Workload(name="isort", trace=trace, heap=heap)
+
+
+def build_sa(scale: str = "ref", seed: int = 0) -> Workload:
+    """Suffix array by prefix doubling (Fig 20's SA).
+
+    Each round sorts suffix ids by (rank[i], rank[i+k]) pairs: sequential
+    scans of the suffix-id array plus random gathers into the rank
+    arrays.  The rank working set (~6 MB at ref) rewards extra capacity —
+    the behaviour Fig 20 highlights (Whirlpool uses *more* banks to keep
+    more of the working set).
+    """
+    big = scale in ("ref", "large")
+    n = (400_000) if big else (120_000)
+    rng = np.random.default_rng(seed + 5)
+    heap = HeapAllocator()
+    alloc = PoolAllocator(heap)
+    text_a = alloc.malloc(n, "text")
+    ranks_a = alloc.malloc(2 * n * _WORD, "ranks")
+    sa_a = alloc.malloc(n * _WORD, "suffix ids")
+
+    tb = TraceBuilder()
+    r_text = tb.region("text", text_a)
+    r_rank = tb.region("ranks", ranks_a)
+    r_sa = tb.region("suffix ids", sa_a)
+
+    # Initial ranks from the text.
+    tb.access_interleaved(
+        {r_text: patterns.scan(text_a), r_rank: patterns.scan(ranks_a)}
+    )
+    n_rounds = 7
+    for round_idx in range(n_rounds):
+        k = 1 << round_idx
+        ids = np.arange(n, dtype=np.int64)
+        partner = (ids + k) % n
+        # Sorting pass: scan suffix ids, gather two ranks per id.
+        gathers = np.empty(2 * n, dtype=np.int64)
+        gathers[0::2] = rng.permutation(ids)  # post-sort order is shuffled
+        gathers[1::2] = rng.permutation(partner)
+        tb.access_interleaved(
+            {
+                r_sa: patterns.scan(sa_a),
+                r_rank: patterns.gather(ranks_a, gathers, _WORD),
+            }
+        )
+    trace = tb.finalize(apki=35.0)
+    return Workload(name="SA", trace=trace, heap=heap)
+
+
+def build_dict(scale: str = "ref", seed: int = 0) -> Workload:
+    """Hash-table insert/lookup with Zipf-skewed keys."""
+    big = scale in ("ref", "large")
+    n_ops = (2_000_000) if big else (500_000)
+    table_bytes = (6 * _MB) if big else (2 * _MB)
+    rng = np.random.default_rng(seed + 11)
+    heap = HeapAllocator()
+    alloc = PoolAllocator(heap)
+    keys_a = alloc.malloc(n_ops * _WORD, "keys")
+    table_a = alloc.malloc(table_bytes, "table")
+
+    tb = TraceBuilder()
+    r_keys = tb.region("keys", keys_a)
+    r_table = tb.region("table", table_a)
+
+    block = 262_144
+    for lo in range(0, n_ops, block):
+        count = min(block, n_ops - lo)
+        tb.access_interleaved(
+            {
+                r_keys: patterns.gather(keys_a, np.arange(lo, lo + count), _WORD),
+                r_table: patterns.zipf_random(rng, table_a, count, alpha=1.1),
+            }
+        )
+    trace = tb.finalize(apki=30.0)
+    return Workload(name="dict", trace=trace, heap=heap)
+
+
+def build_remdups(scale: str = "ref", seed: int = 0) -> Workload:
+    """Remove duplicates: stream input, probe a hash table, append output."""
+    big = scale in ("ref", "large")
+    n_elems = (1_800_000) if big else (450_000)
+    table_bytes = (4 * _MB) if big else (_MB)
+    rng = np.random.default_rng(seed + 19)
+    heap = HeapAllocator()
+    alloc = PoolAllocator(heap)
+    input_a = alloc.malloc(n_elems * _WORD, "input")
+    table_a = alloc.malloc(table_bytes, "hash table")
+    output_a = alloc.malloc(n_elems * _WORD, "output")
+
+    tb = TraceBuilder()
+    r_in = tb.region("input", input_a)
+    r_tab = tb.region("hash table", table_a)
+    r_out = tb.region("output", output_a)
+
+    n_out = 0
+    block = 262_144
+    for lo in range(0, n_elems, block):
+        count = min(block, n_elems - lo)
+        uniques = count // 3
+        tb.access_interleaved(
+            {
+                r_in: patterns.gather(input_a, np.arange(lo, lo + count), _WORD),
+                r_tab: patterns.uniform_random(rng, table_a, count),
+                r_out: patterns.gather(
+                    output_a, np.arange(n_out, n_out + uniques), _WORD
+                ),
+            }
+        )
+        n_out += uniques
+    trace = tb.finalize(apki=26.0)
+    return Workload(name="remDups", trace=trace, heap=heap)

@@ -1,0 +1,103 @@
+"""Workload registry: every benchmark of the paper's evaluation, by name.
+
+The suite matches Appendix A: the 15 memory-intensive SPEC CPU2006 apps
+plus 16 PBBS apps (all but nbody), 31 in total (Fig 16/21).  The 12 apps
+ported by hand in Table 2 carry their manual pool classification.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.workloads.pbbs import (
+    build_bfs,
+    build_delaunay,
+    build_dict,
+    build_hull,
+    build_isort,
+    build_matching,
+    build_mis,
+    build_mst,
+    build_neighbors,
+    build_ray,
+    build_refine,
+    build_remdups,
+    build_sa,
+    build_setcover,
+    build_sort,
+    build_st,
+)
+from repro.workloads.spec.apps import SPEC_BUILDERS
+from repro.workloads.trace import Workload
+
+__all__ = [
+    "ALL_APPS",
+    "MANUAL_APPS",
+    "PBBS_APPS",
+    "SPEC_APPS",
+    "build_workload",
+]
+
+#: PBBS builders (16 apps; Fig 16's right half).
+_PBBS_BUILDERS: dict[str, Callable[..., Workload]] = {
+    "BFS": build_bfs,
+    "MIS": build_mis,
+    "MST": build_mst,
+    "SA": build_sa,
+    "ST": build_st,
+    "delaunay": build_delaunay,
+    "dict": build_dict,
+    "hull": build_hull,
+    "isort": build_isort,
+    "matching": build_matching,
+    "neighbors": build_neighbors,
+    "ray": build_ray,
+    "refine": build_refine,
+    "remDups": build_remdups,
+    "setCover": build_setcover,
+    "sort": build_sort,
+}
+
+_BUILDERS: dict[str, Callable[..., Workload]] = {
+    **SPEC_BUILDERS,
+    **_PBBS_BUILDERS,
+}
+
+#: All 31 single-threaded benchmarks, in Fig 16's order.
+SPEC_APPS = list(SPEC_BUILDERS.keys())
+PBBS_APPS = list(_PBBS_BUILDERS.keys())
+ALL_APPS = SPEC_APPS + PBBS_APPS
+
+#: The 12 manually-ported applications of Table 2.
+MANUAL_APPS = [
+    "BFS",
+    "delaunay",
+    "matching",
+    "refine",
+    "MIS",
+    "ST",
+    "MST",
+    "hull",
+    "bzip2",
+    "lbm",
+    "mcf",
+    "cactus",
+]
+
+
+def build_workload(name: str, scale: str = "ref", seed: int = 0) -> Workload:
+    """Build a benchmark by name.
+
+    Args:
+        name: one of :data:`ALL_APPS`.
+        scale: "ref"/"large" (evaluation inputs) or "train"/"small"
+            (WhirlTool profiling inputs).
+        seed: RNG seed (kept fixed across scales for the same program).
+    """
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; known: {', '.join(ALL_APPS)}"
+        ) from None
+    return builder(scale=scale, seed=seed)

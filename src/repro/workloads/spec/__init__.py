@@ -1,0 +1,15 @@
+"""SPEC CPU2006 workload models.
+
+Substitution note (DESIGN.md): real SPEC binaries are unavailable
+offline, so each of the 15 memory-intensive apps the paper evaluates
+(>5 L2 MPKI) is modeled as a parameterized generator reproducing its
+documented pool structure, working-set sizes, and phase behaviour —
+e.g. lbm's two grids with alternating source/destination roles (Fig 6),
+mcf's pointer-chased nodes vs. streamed arcs, and cactus's reused Pugh
+variables vs. streaming grid (Fig 19).
+"""
+
+from repro.workloads.spec.apps import SPEC_BUILDERS
+from repro.workloads.spec.synth import PhaseSpec, RegionSpec, build_synthetic
+
+__all__ = ["PhaseSpec", "RegionSpec", "SPEC_BUILDERS", "build_synthetic"]

@@ -1,0 +1,380 @@
+"""The 15 memory-intensive SPEC CPU2006 models (paper Appendix A).
+
+Each builder accepts ``scale`` ("train"/"small" for profiling inputs,
+"ref"/"large" for evaluation inputs) and a seed.  Working-set sizes and
+access mixes follow the paper's descriptions where given (lbm Sec 2.2,
+cactus/mcf/bzip2 Table 2) and public characterization data otherwise.
+
+Four apps (leslie3d, omnetpp, xalancbmk — plus PBBS setCover) change
+access-pattern shape between train and ref inputs; they drive the
+training-input sensitivity study of Fig 18.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.spec.synth import PhaseSpec, RegionSpec, build_synthetic
+from repro.workloads.trace import Workload
+
+__all__ = ["SPEC_BUILDERS"]
+
+_MB = 1 << 20
+_KB = 1 << 10
+
+
+def _is_ref(scale: str) -> bool:
+    if scale in ("ref", "large"):
+        return True
+    if scale in ("train", "small"):
+        return False
+    raise ValueError(f"unknown scale {scale!r}")
+
+
+def _steady(weights: dict[str, float], accesses: int, n: int) -> list[PhaseSpec]:
+    """n identical phases (steady-state program)."""
+    return [PhaseSpec(weights=weights, accesses=accesses) for __ in range(n)]
+
+
+def build_bzip2(scale: str = "ref", seed: int = 0) -> Workload:
+    """401.bzip2 (Table 2: arr1/arr2/ftab/tt, 43 LOC).
+
+    Block-sorting compression: two block buffers with solid reuse, a hot
+    frequency table, and a larger suffix-pointer work area.  Total
+    working set ≈ 4 MB — small enough that IdealSPD's private region does
+    well on it (paper Sec 4.5).
+    """
+    big = _is_ref(scale)
+    f = 1.0 if big else 0.35
+    regions = [
+        RegionSpec("arr1", int(1.0 * _MB * f), "uniform"),
+        RegionSpec("arr2", int(1.0 * _MB * f), "uniform"),
+        RegionSpec("ftab", int(256 * _KB * f), "zipf", zipf_alpha=1.4),
+        RegionSpec("tt", int(2.0 * _MB * f), "uniform"),
+    ]
+    compress = {"arr1": 3.0, "arr2": 2.0, "ftab": 2.5, "tt": 2.5}
+    entropy = {"arr2": 4.0, "ftab": 4.0}
+    phases = []
+    per_phase = 220_000 if big else 90_000
+    for __ in range(6):
+        phases.append(PhaseSpec(compress, per_phase))
+        phases.append(PhaseSpec(entropy, per_phase // 2))
+    return build_synthetic(
+        "bzip2", regions, phases, apki=14.0, seed=seed,
+        manual_pool_names=["arr1", "arr2", "ftab", "tt"], table2_loc=43,
+    )
+
+
+def build_gcc(scale: str = "ref", seed: int = 0) -> Workload:
+    """403.gcc: many allocation sites, bursty per-pass working sets.
+
+    High phase variability — the paper notes gcc slightly *loses* from
+    more pools (Fig 16) because finer partitioning amplifies phase churn.
+    """
+    big = _is_ref(scale)
+    f = 1.0 if big else 0.4
+    regions = [
+        RegionSpec("rtl", int(3.0 * _MB * f), "uniform"),
+        RegionSpec("tree", int(2.0 * _MB * f), "uniform"),
+        RegionSpec("symtab", int(640 * _KB * f), "zipf", zipf_alpha=1.3),
+        RegionSpec("bitmaps", int(1.5 * _MB * f), "stream"),
+        RegionSpec("df", int(2.5 * _MB * f), "uniform"),
+    ]
+    passes = [
+        {"rtl": 4.0, "symtab": 2.0},
+        {"tree": 4.0, "symtab": 1.5},
+        {"df": 4.0, "bitmaps": 3.0},
+        {"rtl": 2.0, "df": 3.0, "bitmaps": 2.0},
+        {"tree": 2.0, "rtl": 2.0},
+    ]
+    per_phase = 160_000 if big else 60_000
+    phases = [PhaseSpec(w, per_phase) for w in passes * 3]
+    return build_synthetic("gcc", regions, phases, apki=12.0, seed=seed)
+
+
+def build_mcf(scale: str = "ref", seed: int = 0) -> Workload:
+    """429.mcf (Table 2: nodes/arcs, 14 LOC).
+
+    Network simplex: pointer-chased node structures with a moderate
+    working set, and a much larger arc array swept with poor locality.
+    """
+    big = _is_ref(scale)
+    f = 1.0 if big else 0.3
+    regions = [
+        RegionSpec("nodes", int(3.0 * _MB * f), "chase"),
+        RegionSpec("arcs", int(18.0 * _MB * f), "stream"),
+    ]
+    phases = _steady({"nodes": 5.0, "arcs": 6.0}, 300_000 if big else 100_000, 8)
+    return build_synthetic(
+        "mcf", regions, phases, apki=45.0, seed=seed,
+        manual_pool_names=["nodes", "arcs"], table2_loc=14,
+    )
+
+
+def build_milc(scale: str = "ref", seed: int = 0) -> Workload:
+    """433.milc: lattice QCD, large streaming su3 field sweeps."""
+    big = _is_ref(scale)
+    f = 1.0 if big else 0.35
+    regions = [
+        RegionSpec("links", int(9.0 * _MB * f), "stream"),
+        RegionSpec("fields", int(6.0 * _MB * f), "stream"),
+        RegionSpec("temporaries", int(1.0 * _MB * f), "uniform"),
+    ]
+    phases = _steady(
+        {"links": 4.0, "fields": 3.0, "temporaries": 1.0},
+        280_000 if big else 100_000, 8,
+    )
+    return build_synthetic("milc", regions, phases, apki=30.0, seed=seed)
+
+
+def build_zeusmp(scale: str = "ref", seed: int = 0) -> Workload:
+    """434.zeusmp: astrophysics stencils over several 3-D grids."""
+    big = _is_ref(scale)
+    f = 1.0 if big else 0.35
+    regions = [
+        RegionSpec("field_grids", int(8.0 * _MB * f), "stream"),
+        RegionSpec("flux_grids", int(4.0 * _MB * f), "stream"),
+        RegionSpec("boundary", int(768 * _KB * f), "uniform"),
+    ]
+    phases = _steady(
+        {"field_grids": 4.0, "flux_grids": 2.5, "boundary": 1.0},
+        260_000 if big else 90_000, 8,
+    )
+    return build_synthetic("zeusmp", regions, phases, apki=22.0, seed=seed)
+
+
+def build_cactus(scale: str = "ref", seed: int = 0) -> Workload:
+    """436.cactusADM (Table 2: Pugh variables / leapfrog grid, 53 LOC).
+
+    Two regions, only one with reuse (Fig 19): the Pugh variables cache
+    well; the staggered-leapfrog grid streams and is bypassed by
+    Whirlpool.
+    """
+    big = _is_ref(scale)
+    f = 1.0 if big else 0.35
+    regions = [
+        RegionSpec("pugh", int(2.5 * _MB * f), "zipf", zipf_alpha=1.1),
+        RegionSpec("grid", int(20.0 * _MB * f), "stream"),
+    ]
+    phases = _steady({"pugh": 5.0, "grid": 5.0}, 300_000 if big else 100_000, 8)
+    return build_synthetic(
+        "cactus", regions, phases, apki=18.0, seed=seed,
+        manual_pool_names=["pugh", "grid"], table2_loc=53,
+    )
+
+
+def build_leslie(scale: str = "ref", seed: int = 0) -> Workload:
+    """437.leslie3d: LES fluid dynamics.
+
+    Training-sensitive (Fig 18): on the train input the flux arrays are
+    small and stream with the grids; on ref they develop reuse, so a
+    classifier trained on train merges pools that ref wants separated.
+    """
+    big = _is_ref(scale)
+    if big:
+        regions = [
+            RegionSpec("grids_u", int(7.0 * _MB), "stream"),
+            RegionSpec("grids_v", int(7.0 * _MB), "stream"),
+            RegionSpec("flux", int(2.5 * _MB), "uniform"),
+            RegionSpec("metrics", int(1.0 * _MB), "zipf", zipf_alpha=1.2),
+        ]
+    else:
+        # On the train input the flux arrays stream with the grids (the
+        # grouping trap WhirlTool falls into, Fig 18).
+        regions = [
+            RegionSpec("grids_u", int(1.5 * _MB), "stream"),
+            RegionSpec("grids_v", int(1.5 * _MB), "stream"),
+            RegionSpec("flux", int(4.0 * _MB), "stream"),
+            RegionSpec("metrics", int(384 * _KB), "zipf", zipf_alpha=1.2),
+        ]
+    weights = {"grids_u": 2.0, "grids_v": 2.0, "flux": 3.0, "metrics": 1.5}
+    phases = _steady(weights, 260_000 if big else 90_000, 8)
+    return build_synthetic("leslie", regions, phases, apki=24.0, seed=seed)
+
+
+def build_soplex(scale: str = "ref", seed: int = 0) -> Workload:
+    """450.soplex: simplex LP — sparse-matrix sweeps + hot dense vectors."""
+    big = _is_ref(scale)
+    f = 1.0 if big else 0.35
+    regions = [
+        RegionSpec("matrix", int(14.0 * _MB * f), "stream"),
+        RegionSpec("vectors", int(1.2 * _MB * f), "uniform"),
+        RegionSpec("basis", int(512 * _KB * f), "zipf", zipf_alpha=1.3),
+    ]
+    phases = _steady(
+        {"matrix": 5.0, "vectors": 3.0, "basis": 1.5},
+        280_000 if big else 100_000, 8,
+    )
+    return build_synthetic("soplex", regions, phases, apki=28.0, seed=seed)
+
+
+def build_gems(scale: str = "ref", seed: int = 0) -> Workload:
+    """459.GemsFDTD: FDTD electromagnetics — giant streaming field grids."""
+    big = _is_ref(scale)
+    f = 1.0 if big else 0.35
+    regions = [
+        RegionSpec("e_field", int(8.0 * _MB * f), "stream"),
+        RegionSpec("h_field", int(8.0 * _MB * f), "stream"),
+        RegionSpec("coefficients", int(1.0 * _MB * f), "uniform"),
+    ]
+    phases = []
+    per_phase = 240_000 if big else 80_000
+    for __ in range(5):
+        phases.append(
+            PhaseSpec({"e_field": 5.0, "h_field": 2.0, "coefficients": 1.0}, per_phase)
+        )
+        phases.append(
+            PhaseSpec({"h_field": 5.0, "e_field": 2.0, "coefficients": 1.0}, per_phase)
+        )
+    return build_synthetic("gems", regions, phases, apki=26.0, seed=seed)
+
+
+def build_libquantum(scale: str = "ref", seed: int = 0) -> Workload:
+    """462.libquantum: one big quantum-register vector, streamed repeatedly."""
+    big = _is_ref(scale)
+    f = 1.0 if big else 0.35
+    regions = [RegionSpec("register", int(4.0 * _MB * f), "stream")]
+    phases = _steady({"register": 1.0}, 350_000 if big else 120_000, 8)
+    return build_synthetic("libqntm", regions, phases, apki=34.0, seed=seed)
+
+
+def build_lbm(scale: str = "ref", seed: int = 0) -> Workload:
+    """470.lbm (Table 2: source/destination grids, 21 LOC).
+
+    The Sec-2.2 phase example (Fig 6): each timestep reads the source
+    grid with good reuse and streams the destination grid, and the grids
+    swap roles every timestep.  On average the two pools look identical;
+    only a dynamic policy exploits them.
+    """
+    big = _is_ref(scale)
+    f = 1.0 if big else 0.35
+    regions = [
+        RegionSpec("grid1", int(6.0 * _MB * f), "zipf", zipf_alpha=1.15),
+        RegionSpec("grid2", int(6.0 * _MB * f), "stream"),
+    ]
+    # NOTE: both regions carry *both* patterns over time; the pattern
+    # field gives each region's behaviour when it is the source (zipf) or
+    # the destination (stream).  We emulate the swap by weighting: in odd
+    # timesteps grid1 is read-heavy (source), in even timesteps grid2.
+    phases = []
+    per_phase = 200_000 if big else 70_000
+    for t in range(10):
+        if t % 2 == 0:
+            phases.append(PhaseSpec({"grid1": 6.0, "grid2": 4.0}, per_phase))
+        else:
+            phases.append(PhaseSpec({"grid2": 6.0, "grid1": 4.0}, per_phase))
+    return build_synthetic(
+        "lbm", regions, phases, apki=40.0, seed=seed,
+        manual_pool_names=["grid1", "grid2"], table2_loc=21,
+    )
+
+
+def build_omnet(scale: str = "ref", seed: int = 0) -> Workload:
+    """471.omnetpp: discrete-event simulation.
+
+    Training-sensitive (Fig 18): the train network is small, so the
+    message pool looks hot; at ref scale messages spread over a much
+    larger pool and only the event heap stays hot.
+    """
+    big = _is_ref(scale)
+    if big:
+        regions = [
+            RegionSpec("event_heap", int(1.0 * _MB), "zipf", zipf_alpha=1.5),
+            RegionSpec("messages", int(6.0 * _MB), "uniform"),
+            RegionSpec("topology", int(2.5 * _MB), "uniform"),
+            RegionSpec("stats_log", int(4.0 * _MB), "stream"),
+        ]
+    else:
+        # Train network is tiny: messages look as hot as the event heap
+        # (so WhirlTool merges them), and the log barely streams.
+        regions = [
+            RegionSpec("event_heap", int(512 * _KB), "zipf", zipf_alpha=1.5),
+            RegionSpec("messages", int(640 * _KB), "zipf", zipf_alpha=1.5),
+            RegionSpec("topology", int(1.0 * _MB), "uniform"),
+            RegionSpec("stats_log", int(1.5 * _MB), "stream"),
+        ]
+    phases = _steady(
+        {"event_heap": 3.0, "messages": 4.0, "topology": 2.0, "stats_log": 1.0},
+        240_000 if big else 80_000, 8,
+    )
+    return build_synthetic("omnet", regions, phases, apki=20.0, seed=seed)
+
+
+def build_astar(scale: str = "ref", seed: int = 0) -> Workload:
+    """473.astar: pathfinding — hot open list, big map with spread reuse."""
+    big = _is_ref(scale)
+    f = 1.0 if big else 0.35
+    regions = [
+        RegionSpec("open_list", int(640 * _KB * f), "zipf", zipf_alpha=1.4),
+        RegionSpec("map", int(7.0 * _MB * f), "uniform"),
+        RegionSpec("came_from", int(2.0 * _MB * f), "uniform"),
+    ]
+    phases = _steady(
+        {"open_list": 3.0, "map": 5.0, "came_from": 2.0},
+        260_000 if big else 90_000, 8,
+    )
+    return build_synthetic("astar", regions, phases, apki=25.0, seed=seed)
+
+
+def build_sphinx(scale: str = "ref", seed: int = 0) -> Workload:
+    """482.sphinx3: speech recognition — hot acoustic model scores."""
+    big = _is_ref(scale)
+    f = 1.0 if big else 0.35
+    regions = [
+        RegionSpec("acoustic_model", int(7.0 * _MB * f), "zipf", zipf_alpha=1.05),
+        RegionSpec("lattice", int(1.5 * _MB * f), "uniform"),
+        RegionSpec("dictionary", int(512 * _KB * f), "zipf", zipf_alpha=1.4),
+    ]
+    phases = _steady(
+        {"acoustic_model": 6.0, "lattice": 2.0, "dictionary": 1.0},
+        280_000 if big else 100_000, 8,
+    )
+    return build_synthetic("sphinx3", regions, phases, apki=27.0, seed=seed)
+
+
+def build_xalanc(scale: str = "ref", seed: int = 0) -> Workload:
+    """483.xalancbmk: XSLT — pointer-heavy DOM plus string churn.
+
+    Training-sensitive (Fig 18): the train document's DOM fits easily, so
+    DOM and strings cluster; on ref the DOM grows past the strings.
+    """
+    big = _is_ref(scale)
+    if big:
+        regions = [
+            RegionSpec("dom", int(6.0 * _MB), "chase"),
+            RegionSpec("strings", int(3.0 * _MB), "uniform"),
+            RegionSpec("templates", int(768 * _KB), "zipf", zipf_alpha=1.3),
+            RegionSpec("output", int(5.0 * _MB), "stream"),
+        ]
+    else:
+        # The train document is small: the DOM behaves like the strings
+        # (both fit easily), so a train-trained clustering merges them.
+        regions = [
+            RegionSpec("dom", int(1.0 * _MB), "uniform"),
+            RegionSpec("strings", int(1.0 * _MB), "uniform"),
+            RegionSpec("templates", int(384 * _KB), "zipf", zipf_alpha=1.3),
+            RegionSpec("output", int(1.5 * _MB), "stream"),
+        ]
+    phases = _steady(
+        {"dom": 5.0, "strings": 3.0, "templates": 1.5, "output": 1.0},
+        240_000 if big else 80_000, 8,
+    )
+    return build_synthetic("xalanc", regions, phases, apki=21.0, seed=seed)
+
+
+#: Name -> builder for the 15 SPEC apps of Appendix A.
+SPEC_BUILDERS = {
+    "bzip2": build_bzip2,
+    "gcc": build_gcc,
+    "mcf": build_mcf,
+    "milc": build_milc,
+    "zeusmp": build_zeusmp,
+    "cactus": build_cactus,
+    "leslie": build_leslie,
+    "soplex": build_soplex,
+    "gems": build_gems,
+    "libqntm": build_libquantum,
+    "lbm": build_lbm,
+    "omnet": build_omnet,
+    "astar": build_astar,
+    "sphinx3": build_sphinx,
+    "xalanc": build_xalanc,
+}

@@ -1,0 +1,54 @@
+"""Unit tests for system configurations (Table 3)."""
+
+import pytest
+
+from repro.nuca import four_core_config, sixteen_core_config
+
+
+class TestFourCore:
+    def test_matches_table3(self):
+        cfg = four_core_config()
+        assert cfg.n_cores == 4
+        assert cfg.geometry.dim == 5
+        assert cfg.geometry.bank_bytes == 512 * 1024
+        assert cfg.latency.bank_latency == 9
+        assert cfg.latency.mem_latency == 120
+        assert len(cfg.geometry.mcu_entries) == 1
+
+    def test_capacity_per_core(self):
+        cfg = four_core_config()
+        per_core_mb = cfg.llc_bytes / cfg.n_cores / (1 << 20)
+        assert per_core_mb == pytest.approx(3.125)  # ~3.1 MB/core
+
+
+class TestSixteenCore:
+    def test_matches_table3(self):
+        cfg = sixteen_core_config()
+        assert cfg.n_cores == 16
+        assert cfg.geometry.dim == 9
+        assert len(cfg.geometry.mcu_entries) == 4
+
+    def test_capacity_per_core(self):
+        cfg = sixteen_core_config()
+        per_core_mb = cfg.llc_bytes / cfg.n_cores / (1 << 20)
+        assert per_core_mb == pytest.approx(2.53, abs=0.05)  # ~2.5 MB/core
+
+
+class TestConfigHelpers:
+    def test_n_chunks(self):
+        cfg = four_core_config()
+        assert cfg.n_chunks == cfg.llc_bytes // cfg.chunk_bytes
+
+    def test_latency_for_core_uses_geometry(self):
+        cfg = four_core_config()
+        lat = cfg.latency_for_core(0)
+        assert lat.mem_hops == cfg.geometry.mem_hops(0)
+
+    def test_describe_contains_key_rows(self):
+        desc = four_core_config().describe()
+        assert "L3 cache" in desc
+        assert "512KB per bank" in desc["L3 cache"]
+
+    def test_overrides(self):
+        cfg = four_core_config(base_cpi=1.0)
+        assert cfg.base_cpi == 1.0

@@ -1,0 +1,54 @@
+"""Unit tests for the energy model."""
+
+import pytest
+
+from repro.nuca import EnergyBreakdown, EnergyModel
+
+
+class TestEnergyBreakdown:
+    def test_total(self):
+        e = EnergyBreakdown(network=1, bank=2, memory=3)
+        assert e.total == 6
+
+    def test_add(self):
+        a = EnergyBreakdown(1, 2, 3)
+        b = EnergyBreakdown(10, 20, 30)
+        c = a + b
+        assert (c.network, c.bank, c.memory) == (11, 22, 33)
+
+    def test_scaled(self):
+        e = EnergyBreakdown(1, 2, 3).scaled(2.0)
+        assert e.total == 12
+
+
+class TestEnergyModel:
+    def test_llc_access_components(self):
+        m = EnergyModel(bank_nj=1.0, hop_nj=0.5)
+        e = m.llc_access(hops=3, count=2)
+        assert e.bank == 2.0
+        assert e.network == 2 * 3 * 0.5 * 2  # round trip × hops × nj × count
+        assert e.memory == 0.0
+
+    def test_memory_access(self):
+        m = EnergyModel(mem_nj=20.0, hop_nj=0.5)
+        e = m.memory_access(mem_hops=2, count=3)
+        assert e.memory == 60.0
+        assert e.network == 2 * 2 * 0.5 * 3
+
+    def test_memory_dwarfs_bank(self):
+        """DRAM accesses cost several times an on-chip bank access.
+
+        (Constants are calibrated to Fig 10's energy *proportions*, where
+        network + bank traffic is comparable to memory traffic; see
+        DESIGN.md.)
+        """
+        m = EnergyModel()
+        assert m.mem_nj / m.bank_nj >= 5
+
+    def test_migration_touches_two_banks(self):
+        m = EnergyModel(bank_nj=1.0, hop_nj=0.0)
+        assert m.migration(hops=4, count=1).bank == 2.0
+
+    def test_zero_count(self):
+        m = EnergyModel()
+        assert m.llc_access(5, count=0).total == 0.0

@@ -1,0 +1,220 @@
+"""Tests for the extension modules: Talus, R-NUCA, prefetcher, GMON, CLI."""
+
+import numpy as np
+import pytest
+
+from repro.curves import GMON, MissCurve, StackDistanceProfiler, quantize_curve
+from repro.mem import HeapAllocator
+from repro.nuca import CacheSim, four_core_config
+from repro.replacement import LRU, TalusCache, talus_split
+from repro.schemes import RNUCAScheme, VCSpec
+from repro.sim.prefetch import apply_stream_prefetcher, prefetch_energy
+from repro.workloads import TraceBuilder
+from repro.workloads.patterns import scan, zipf_random
+
+_MB = 1 << 20
+CHUNK = 64 * 1024
+
+
+def curve_from(values, accesses=None, instr=1e6):
+    values = np.asarray(values, dtype=float)
+    return MissCurve(
+        misses=values,
+        chunk_bytes=CHUNK,
+        accesses=float(values[0]) if accesses is None else accesses,
+        instructions=instr,
+    )
+
+
+class TestTalusSplit:
+    def test_convex_region_single_partition(self):
+        c = curve_from(1000 * np.power(0.9, np.arange(30)))
+        rho, s1, s2 = talus_split(c, 10 * CHUNK)
+        assert rho == 1.0
+        assert s2 == 0.0
+
+    def test_cliff_region_interpolates(self):
+        # Cliff at 20 chunks; target 10 chunks sits on the hull chord.
+        vals = [1000.0] * 20 + [0.0] * 11
+        c = curve_from(vals)
+        rho, s1, s2 = talus_split(c, 10 * CHUNK)
+        assert 0 < rho < 1
+        # Sizes recombine to the target.
+        assert s1 + s2 == pytest.approx(10 * CHUNK)
+
+    def test_talus_cache_beats_plain_lru_on_cliff(self):
+        """The headline Talus property: hull performance at mid sizes.
+
+        A cyclic scan over a 512 KB working set thrashes a 256 KB LRU
+        cache (~100% misses); the hull says half the misses are
+        avoidable, and the shadow partitions realize it.
+        """
+        ws_lines = 8192  # 512 KB working set
+        lines = np.tile(np.arange(ws_lines, dtype=np.int64), 15)
+        prof = StackDistanceProfiler(chunk_bytes=CHUNK, n_chunks=16)
+        curve = prof.profile_combined(lines, instructions=1e6)[0]
+        cache_bytes = 256 * 1024
+        plain = CacheSim(
+            size_bytes=cache_bytes, ways=16, policy_factory=lambda s, w: LRU(s, w)
+        ).run(lines)
+        talus = TalusCache(curve, cache_bytes).run(lines)
+        predicted_hull = curve.hull_curve().misses_at(cache_bytes)
+        # Plain LRU thrashes; Talus lands near the hull.
+        assert plain.misses > 0.95 * len(lines)
+        assert talus.misses < 0.8 * plain.misses
+        assert talus.misses == pytest.approx(predicted_hull, rel=0.25)
+
+
+class TestRNUCA:
+    def test_private_data_confined_to_cluster(self):
+        cfg = four_core_config()
+        s = RNUCAScheme(cfg, [VCSpec(0, "process")])
+        c = curve_from([1000.0] * (cfg.model_chunks + 1), accesses=1000)
+        alloc = s.decide({0: c})
+        assert alloc[0].size_bytes == 4 * cfg.geometry.bank_bytes
+
+    def test_shared_data_spreads(self):
+        cfg = four_core_config()
+        s = RNUCAScheme(cfg, [VCSpec(0, "shared")])
+        c = curve_from([1000.0] * (cfg.model_chunks + 1), accesses=1000)
+        alloc = s.decide({0: c})
+        assert alloc[0].size_bytes == cfg.llc_bytes
+
+    def test_invalid_cluster(self):
+        cfg = four_core_config()
+        with pytest.raises(ValueError):
+            RNUCAScheme(cfg, [VCSpec(0, "p")], cluster_banks=0)
+
+    def test_worse_than_jigsaw_on_big_ws(self):
+        """R-NUCA can't grow past its cluster (Appendix A comparison)."""
+        from repro.schemes import JigsawScheme
+
+        cfg = four_core_config()
+        n = cfg.model_chunks
+        vals = [5000.0] * int(8 * _MB / CHUNK) + [0.0] * (
+            n + 1 - int(8 * _MB / CHUNK)
+        )
+        c = curve_from(vals, accesses=5000)
+        vcs = [VCSpec(0, "process")]
+        rn = RNUCAScheme(cfg, vcs).step({0: c}, {0: c}, 1e6)
+        jig = JigsawScheme(cfg, vcs).step({0: c}, {0: c}, 1e6)
+        assert rn.misses > jig.misses
+
+
+class TestPrefetcher:
+    def make_trace(self):
+        heap = HeapAllocator()
+        stream_buf = heap.malloc(2 * _MB)
+        random_buf = heap.malloc(_MB)
+        rng = np.random.default_rng(1)
+        tb = TraceBuilder()
+        r_s = tb.region("stream", stream_buf)
+        r_r = tb.region("rand", random_buf)
+        tb.access(scan(stream_buf), r_s)
+        tb.access(zipf_random(rng, random_buf, 20_000), r_r)
+        return tb.finalize(apki=30.0)
+
+    def test_streams_covered_random_kept(self):
+        trace = self.make_trace()
+        result = apply_stream_prefetcher(trace)
+        assert result.covered > 0.8 * (2 * _MB // 64)  # most of the scan
+        kept_regions = set(result.trace.regions.tolist())
+        assert len(kept_regions) == 2  # random region survives
+
+    def test_instructions_preserved(self):
+        trace = self.make_trace()
+        result = apply_stream_prefetcher(trace)
+        assert result.trace.instructions == trace.instructions
+
+    def test_accuracy_and_energy(self):
+        trace = self.make_trace()
+        result = apply_stream_prefetcher(trace, waste=0.25)
+        assert result.accuracy == pytest.approx(0.8, rel=0.01)
+        cfg = four_core_config()
+        e = prefetch_energy(result, cfg)
+        assert e.memory > 0
+        assert e.total == pytest.approx(
+            cfg.energy.memory_access(cfg.geometry.mem_hops(0), result.issued).total
+        )
+
+    def test_no_streams_nothing_covered(self):
+        heap = HeapAllocator()
+        buf = heap.malloc(_MB)
+        rng = np.random.default_rng(2)
+        tb = TraceBuilder()
+        r = tb.region("rand", buf)
+        tb.access(zipf_random(rng, buf, 10_000), r)
+        trace = tb.finalize(apki=30.0)
+        result = apply_stream_prefetcher(trace)
+        assert result.covered < 0.05 * len(trace)
+
+
+class TestGMON:
+    def test_quantized_preserves_endpoints(self):
+        c = curve_from(1000 * np.power(0.95, np.arange(201)))
+        q = quantize_curve(c, 16)
+        assert q.misses[0] == c.misses[0]
+        assert q.misses[-1] == pytest.approx(c.misses[-1])
+
+    def test_quantized_is_interpolation(self):
+        c = curve_from(np.linspace(1000, 0, 101))
+        q = quantize_curve(c, 4)
+        assert np.allclose(q.misses, c.misses, atol=1e-6)  # linear stays exact
+
+    def test_rejects_tiny_ways(self):
+        c = curve_from([10, 5, 0])
+        with pytest.raises(ValueError):
+            quantize_curve(c, 1)
+        with pytest.raises(ValueError):
+            GMON(n_ways=1)
+
+    def test_observe_and_storage(self):
+        c = curve_from(1000 * np.power(0.9, np.arange(50)))
+        gmon = GMON(n_ways=8)
+        out = gmon.observe({0: c, 1: c})
+        assert set(out) == {0, 1}
+        assert gmon.storage_bits(n_vcs=4) == 4 * 8 * 32
+
+
+class TestCLI:
+    def test_list_apps(self, capsys):
+        from repro.cli import main
+
+        assert main(["list-apps"]) == 0
+        out = capsys.readouterr().out
+        assert "MIS" in out and "pagerank" in out
+
+    def test_config(self, capsys):
+        from repro.cli import main
+
+        assert main(["config"]) == 0
+        out = capsys.readouterr().out
+        assert "4-core 5x5" in out and "Table 2" in out
+
+    def test_run_subset(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["run", "hull", "--scale", "train", "--schemes", "Jigsaw,Whirlpool"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Whirlpool" in out
+
+    def test_run_rejects_unknown_scheme(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "hull", "--schemes", "Foo"]) == 2
+
+    def test_whirltool_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["whirltool", "hull", "--pools", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "pool 0" in out
+
+    def test_placement_requires_port(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["placement", "dict"])  # not a Table-2 app

@@ -1,0 +1,141 @@
+"""Unit tests for mesh geometry and reach curves."""
+
+import numpy as np
+import pytest
+
+from repro.nuca import MeshGeometry, Placement
+
+
+class TestMeshBasics:
+    def test_bank_count(self):
+        assert MeshGeometry(dim=5, n_cores=4).n_banks == 25
+        assert MeshGeometry(dim=9, n_cores=16).n_banks == 81
+
+    def test_total_bytes(self):
+        geo = MeshGeometry(dim=5, n_cores=4, bank_bytes=512 * 1024)
+        assert geo.total_bytes == 25 * 512 * 1024
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            MeshGeometry(dim=0, n_cores=1)
+
+    def test_invalid_mcus(self):
+        with pytest.raises(ValueError):
+            MeshGeometry(dim=5, n_cores=4, n_mcus=5)
+
+    def test_four_cores_on_distinct_sides(self):
+        geo = MeshGeometry(dim=5, n_cores=4)
+        entries = geo.core_entries
+        assert len(set(entries)) == 4
+        # First core on the west edge (col 0), mid-row — where dt runs.
+        assert entries[0] == (2, 0)
+
+    def test_sixteen_cores_distinct(self):
+        geo = MeshGeometry(dim=9, n_cores=16)
+        assert len(set(geo.core_entries)) == 16
+        # All on the perimeter.
+        for r, c in geo.core_entries:
+            assert r in (0, 8) or c in (0, 8)
+
+
+class TestDistances:
+    def test_distance_to_own_tile_is_zero(self):
+        geo = MeshGeometry(dim=5, n_cores=4)
+        r, c = geo.core_entries[0]
+        bank = r * 5 + c
+        assert geo.distances(0)[bank] == 0
+
+    def test_manhattan(self):
+        geo = MeshGeometry(dim=5, n_cores=4)
+        # Core 0 at (2,0); bank (0,4) is 2+4=6 hops away.
+        assert geo.distances(0)[0 * 5 + 4] == 6
+
+    def test_snuca_larger_than_closest(self):
+        geo = MeshGeometry(dim=5, n_cores=4)
+        assert geo.snuca_avg_hops(0) > geo.reach_avg_hops(0, 512 * 1024)
+
+    def test_mem_hops_nearest_corner(self):
+        geo = MeshGeometry(dim=5, n_cores=4, n_mcus=1)
+        # MCU at (0,0); core 0 at (2,0): 2 hops.
+        assert geo.mem_hops(0) == 2
+
+    def test_more_mcus_reduce_mem_hops(self):
+        one = MeshGeometry(dim=9, n_cores=16, n_mcus=1)
+        four = MeshGeometry(dim=9, n_cores=16, n_mcus=4)
+        avg_one = np.mean([one.mem_hops(c) for c in range(16)])
+        avg_four = np.mean([four.mem_hops(c) for c in range(16)])
+        assert avg_four < avg_one
+
+
+class TestReach:
+    def test_reach_monotone_in_size(self):
+        geo = MeshGeometry(dim=5, n_cores=4)
+        sizes = np.linspace(0, geo.total_bytes, 30)
+        hops = [geo.reach_avg_hops(0, s) for s in sizes]
+        assert all(b >= a - 1e-9 for a, b in zip(hops, hops[1:]))
+
+    def test_reach_at_zero_is_closest_bank(self):
+        geo = MeshGeometry(dim=5, n_cores=4)
+        assert geo.reach_avg_hops(0, 0) == geo.distances(0).min()
+
+    def test_reach_at_full_is_snuca_mean(self):
+        geo = MeshGeometry(dim=5, n_cores=4)
+        assert geo.reach_avg_hops(0, geo.total_bytes) == pytest.approx(
+            geo.snuca_avg_hops(0)
+        )
+
+    def test_reach_clamps_past_capacity(self):
+        geo = MeshGeometry(dim=5, n_cores=4)
+        assert geo.reach_avg_hops(0, geo.total_bytes * 10) == pytest.approx(
+            geo.snuca_avg_hops(0)
+        )
+
+    def test_partial_bank(self):
+        geo = MeshGeometry(dim=5, n_cores=4, bank_bytes=1024)
+        # Half a bank: only the closest bank is used.
+        assert geo.reach_avg_hops(0, 512) == geo.distances(0).min()
+
+    def test_reach_fn_matches_method(self):
+        geo = MeshGeometry(dim=5, n_cores=4)
+        fn = geo.reach_fn(1)
+        assert fn(2 * 512 * 1024) == geo.reach_avg_hops(1, 2 * 512 * 1024)
+
+
+class TestPlacement:
+    def test_closest_placement_totals(self):
+        geo = MeshGeometry(dim=5, n_cores=4, bank_bytes=1024)
+        p = geo.closest_placement(0, 2500)
+        assert p.total_bytes == 2500
+        assert len(p.bank_bytes) == 3  # two full banks + one partial
+
+    def test_closest_placement_avg_hops_matches_reach(self):
+        geo = MeshGeometry(dim=5, n_cores=4)
+        size = 3 * 512 * 1024 + 1000
+        p = geo.closest_placement(0, size)
+        assert p.avg_hops(geo.distances(0)) == pytest.approx(
+            geo.reach_avg_hops(0, size)
+        )
+
+    def test_placement_add_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Placement().add(0, -5)
+
+    def test_empty_placement(self):
+        p = Placement()
+        assert p.total_bytes == 0
+        assert p.avg_hops(np.zeros(4)) == 0.0
+
+
+class TestCentroid:
+    def test_single_core(self):
+        geo = MeshGeometry(dim=5, n_cores=4)
+        assert geo.centroid_core({2: 1.0}) == 2
+
+    def test_empty_weights(self):
+        geo = MeshGeometry(dim=5, n_cores=4)
+        assert geo.centroid_core({}) == 0
+
+    def test_balanced_weights_pick_some_core(self):
+        geo = MeshGeometry(dim=9, n_cores=16)
+        core = geo.centroid_core({c: 1.0 for c in range(16)})
+        assert 0 <= core < 16

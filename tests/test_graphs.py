@@ -1,0 +1,101 @@
+"""Unit tests for the graph substrate."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.graphs import (
+    Graph,
+    edge_cut,
+    grid_graph,
+    partition_graph,
+    rmat_graph,
+    uniform_random_graph,
+)
+
+
+class TestGraph:
+    def test_bad_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(offsets=np.array([1, 2]), targets=np.array([0]))
+        with pytest.raises(ValueError):
+            Graph(offsets=np.array([0, 5]), targets=np.array([0]))
+
+    def test_counts(self):
+        g = uniform_random_graph(100, 6.0, seed=0)
+        assert g.n == 100
+        assert g.m == g.offsets[-1]
+
+    def test_symmetric(self):
+        g = uniform_random_graph(60, 4.0, seed=1)
+        for v in range(g.n):
+            for u in g.neighbors(v).tolist():
+                assert v in g.neighbors(u).tolist()
+
+    def test_no_self_loops(self):
+        g = uniform_random_graph(60, 4.0, seed=2)
+        for v in range(g.n):
+            assert v not in g.neighbors(v).tolist()
+
+    def test_degrees_sum(self):
+        g = uniform_random_graph(80, 5.0, seed=3)
+        assert g.degrees().sum() == g.m
+
+
+class TestGenerators:
+    def test_uniform_requires_two_vertices(self):
+        with pytest.raises(ValueError):
+            uniform_random_graph(1, 2.0)
+
+    def test_rmat_power_law_skew(self):
+        g = rmat_graph(2048, 8.0, seed=4)
+        degs = np.sort(g.degrees())[::-1]
+        # Top-decile vertices own a disproportionate share of edges.
+        top = degs[: len(degs) // 10].sum()
+        assert top > 0.25 * degs.sum()
+
+    def test_grid_graph_degrees(self):
+        g = grid_graph(4)
+        degs = g.degrees()
+        assert degs.max() == 4
+        assert degs.min() == 2
+
+    def test_determinism(self):
+        a = uniform_random_graph(100, 6.0, seed=7)
+        b = uniform_random_graph(100, 6.0, seed=7)
+        assert np.array_equal(a.targets, b.targets)
+
+
+class TestPartitioning:
+    def test_invalid_k(self):
+        g = grid_graph(4)
+        with pytest.raises(ValueError):
+            partition_graph(g, 0)
+
+    def test_single_partition(self):
+        g = grid_graph(4)
+        parts = partition_graph(g, 1)
+        assert set(parts.tolist()) == {0}
+
+    def test_balance(self):
+        g = grid_graph(20)  # 400 vertices
+        parts = partition_graph(g, 4, seed=0)
+        counts = np.bincount(parts, minlength=4)
+        assert counts.min() >= 0.7 * 100
+        assert counts.max() <= 1.3 * 100
+
+    def test_all_assigned(self):
+        g = uniform_random_graph(500, 6.0, seed=5)
+        parts = partition_graph(g, 8, seed=1)
+        assert np.all(parts >= 0)
+        assert np.all(parts < 8)
+
+    def test_beats_random_cut_on_grid(self):
+        g = grid_graph(24)
+        parts = partition_graph(g, 4, seed=2)
+        rng = np.random.default_rng(0)
+        random_parts = rng.integers(0, 4, size=g.n).astype(np.int32)
+        assert edge_cut(g, parts) < 0.5 * edge_cut(g, random_parts)
+
+    def test_edge_cut_zero_for_single_part(self):
+        g = grid_graph(6)
+        assert edge_cut(g, np.zeros(g.n, dtype=np.int32)) == 0

@@ -1,0 +1,76 @@
+"""Unit tests for latency-curve construction."""
+
+import numpy as np
+import pytest
+
+from repro.curves import LatencyModel, MissCurve, latency_curve
+
+
+def curve(values, chunk=1024, accesses=100.0, instr=1000.0):
+    return MissCurve(
+        misses=np.asarray(values, dtype=float),
+        chunk_bytes=chunk,
+        accesses=accesses,
+        instructions=instr,
+    )
+
+
+FLAT_HOPS = lambda size: 2.0  # noqa: E731 — simple stub reach function
+
+
+class TestLatencyModel:
+    def test_llc_access_latency(self):
+        m = LatencyModel(bank_latency=9, hop_latency=5)
+        assert m.llc_access_latency(0) == 9
+        assert m.llc_access_latency(2) == 29
+
+    def test_miss_penalty(self):
+        m = LatencyModel(mem_latency=120, hop_latency=5, mem_hops=3)
+        assert m.miss_penalty == 150
+
+
+class TestLatencyCurve:
+    def test_shape_matches_grid(self):
+        c = curve([50, 10, 0])
+        stalls = latency_curve(c, FLAT_HOPS, LatencyModel())
+        assert len(stalls) == 3
+
+    def test_more_capacity_fewer_stalls_when_hops_flat(self):
+        c = curve([50, 10, 0])
+        stalls = latency_curve(c, FLAT_HOPS, LatencyModel())
+        assert stalls[0] > stalls[1] > stalls[2]
+
+    def test_latency_aware_tradeoff(self):
+        """With a flat miss curve, more capacity only adds network latency.
+
+        This is the dt effect (Fig 4): Jigsaw stops growing a VC once extra
+        banks no longer reduce misses.
+        """
+        c = curve([10, 10, 10, 10])  # no miss benefit at all
+        growing_hops = lambda size: size / 1024.0  # noqa: E731
+        stalls = latency_curve(c, growing_hops, LatencyModel())
+        assert np.all(np.diff(stalls) > 0)  # strictly worse with more space
+
+    def test_bypass_point_excludes_llc_latency(self):
+        c = curve([100, 0], accesses=100.0)  # everything misses at size 0
+        model = LatencyModel()
+        plain = latency_curve(c, FLAT_HOPS, model, bypassable=False)
+        byp = latency_curve(c, FLAT_HOPS, model, bypassable=True)
+        assert byp[0] < plain[0]
+        assert byp[1] == plain[1]
+        # Bypassed stalls = accesses * miss_penalty / instr exactly.
+        assert byp[0] == pytest.approx(100.0 * model.miss_penalty / 1000.0)
+
+    def test_streaming_pool_prefers_bypass(self):
+        """A no-reuse pool's latency curve is minimized at size 0 (Fig 9)."""
+        apki = 100.0
+        c = curve([100, 97, 95, 94], accesses=apki)
+        hops = lambda size: 1.0 + size / 2048.0  # noqa: E731
+        stalls = latency_curve(c, hops, LatencyModel(), bypassable=True)
+        assert np.argmin(stalls) == 0
+
+    def test_cacheable_pool_prefers_capacity(self):
+        c = curve([100, 40, 5, 0], accesses=100.0)
+        hops = lambda size: 1.0 + size / 4096.0  # noqa: E731
+        stalls = latency_curve(c, hops, LatencyModel(), bypassable=True)
+        assert np.argmin(stalls) == 3

@@ -1,0 +1,130 @@
+"""Unit tests for the MissCurve container."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.curves import MissCurve
+
+
+def curve(values, chunk=1024, accesses=None, instr=1000.0):
+    values = np.asarray(values, dtype=float)
+    return MissCurve(
+        misses=values,
+        chunk_bytes=chunk,
+        accesses=float(values[0]) if accesses is None else accesses,
+        instructions=instr,
+    )
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MissCurve(np.array([]), chunk_bytes=64, accesses=0, instructions=1)
+
+    def test_rejects_bad_chunk(self):
+        with pytest.raises(ValueError):
+            MissCurve(np.ones(3), chunk_bytes=0, accesses=1, instructions=1)
+
+    def test_monotonicity_enforced(self):
+        c = curve([10, 5, 7, 3])
+        assert list(c.misses) == [10, 5, 5, 3]
+
+    def test_zero_factory(self):
+        c = MissCurve.zero(4, 1024)
+        assert c.n_chunks == 4
+        assert c.accesses == 0
+        assert np.all(c.misses == 0)
+
+
+class TestEvaluation:
+    def test_interpolation(self):
+        c = curve([10, 6, 2])
+        assert c.misses_at(0) == 10
+        assert c.misses_at(512) == 8  # halfway through first chunk
+        assert c.misses_at(2048) == 2
+
+    def test_clamps_past_end(self):
+        c = curve([10, 2])
+        assert c.misses_at(1 << 30) == 2
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            curve([1, 0]).misses_at(-1)
+
+    def test_mpki(self):
+        c = curve([10, 2], instr=1000.0)
+        assert c.mpki_at(0) == 10.0
+
+    def test_apki(self):
+        c = curve([10, 2], accesses=50.0, instr=1000.0)
+        assert c.apki == 50.0
+
+
+class TestTransforms:
+    def test_convex_hull_below_curve(self):
+        c = curve([10, 10, 10, 0, 0])  # cliff at 3 chunks
+        hull = c.convex_hull()
+        assert np.all(hull <= c.misses + 1e-9)
+        # The hull of a cliff is the straight line to the cliff bottom.
+        assert hull[1] == pytest.approx(10 * 2 / 3)
+
+    def test_convex_hull_of_convex_curve_is_identity(self):
+        vals = [16, 8, 4, 2, 1, 1]
+        c = curve(vals)
+        assert np.allclose(c.convex_hull(), vals)
+
+    def test_hull_endpoints_preserved(self):
+        c = curve([9, 9, 1, 1, 0])
+        hull = c.convex_hull()
+        assert hull[0] == 9
+        assert hull[-1] == 0
+
+    def test_extended_pads_with_floor(self):
+        c = curve([4, 2])
+        e = c.extended(4)
+        assert list(e.misses) == [4, 2, 2, 2, 2]
+        assert e.accesses == c.accesses
+
+    def test_extended_cannot_shrink(self):
+        with pytest.raises(ValueError):
+            curve([4, 2, 1]).extended(1)
+
+    def test_resampled_preserves_endpoints(self):
+        c = curve([8, 6, 4, 2, 0])
+        r = c.resampled(2)
+        assert r.misses[0] == 8
+        assert r.misses[-1] == 0
+
+    def test_scaled(self):
+        c = curve([8, 4], accesses=10)
+        s = c.scaled(2.0)
+        assert s.misses[0] == 16
+        assert s.accesses == 20
+
+    def test_merged_over_time(self):
+        a = curve([8, 4], accesses=10, instr=100)
+        b = curve([2, 0], accesses=5, instr=50)
+        m = a.merged_over_time(b)
+        assert list(m.misses) == [10, 4]
+        assert m.accesses == 15
+        assert m.instructions == 150
+
+    def test_merge_grid_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            curve([1, 0], chunk=64).merged_over_time(curve([1, 0], chunk=128))
+
+
+class TestHullProperties:
+    @given(
+        st.lists(st.floats(0, 1000, allow_nan=False), min_size=1, max_size=50)
+    )
+    def test_hull_is_convex_and_below(self, values):
+        c = curve(values)
+        hull = c.convex_hull()
+        assert np.all(hull <= c.misses + 1e-6)
+        if len(hull) >= 3:
+            # Discrete convexity: second differences non-negative.
+            d2 = np.diff(hull, 2)
+            assert np.all(d2 >= -1e-6)

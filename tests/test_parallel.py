@@ -1,0 +1,183 @@
+"""Unit + integration tests for the task-parallel runtime and Fig 13 sim."""
+
+import numpy as np
+import pytest
+
+from repro.nuca import sixteen_core_config
+from repro.parallel import (
+    PARALLEL_APPS,
+    build_parallel_workload,
+    schedule_tasks,
+)
+from repro.parallel.task import ParallelWorkload, Task
+from repro.sim.parallel import PARALLEL_SCHEMES, evaluate_parallel
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return sixteen_core_config()
+
+
+def tiny_workload(n_parts=4, tasks_per_part=6):
+    tasks = []
+    names = {p: f"part{p}" for p in range(n_parts)}
+    rng = np.random.default_rng(0)
+    for p in range(n_parts):
+        for __ in range(tasks_per_part):
+            addrs = (p + 1) * (1 << 30) + rng.integers(0, 1000, 500) * 64
+            tasks.append(Task(home=p, streams={p: addrs}))
+    return ParallelWorkload(
+        name="tiny",
+        tasks=tasks,
+        region_names=names,
+        partition_of_region={p: p for p in range(n_parts)},
+        n_partitions=n_parts,
+    )
+
+
+class TestTask:
+    def test_cost(self):
+        t = Task(home=0, streams={0: np.zeros(10), 1: np.zeros(5)})
+        assert t.cost == 15
+
+    def test_workload_properties(self):
+        w = tiny_workload()
+        assert w.total_accesses == 4 * 6 * 500
+        assert w.n_phases == 1
+
+
+class TestScheduler:
+    def test_invalid_policy(self):
+        with pytest.raises(ValueError):
+            schedule_tasks(tiny_workload(), 4, policy="fifo")
+
+    def test_paws_requires_geometry(self):
+        with pytest.raises(ValueError):
+            schedule_tasks(tiny_workload(), 4, policy="paws")
+
+    def test_all_tasks_assigned(self, cfg):
+        w = tiny_workload()
+        for policy in ("ws", "paws"):
+            s = schedule_tasks(
+                w, 16, policy=policy, geometry=cfg.geometry, seed=1
+            )
+            assert all(c >= 0 for c in s.assignment)
+
+    def test_work_conserved(self, cfg):
+        w = tiny_workload()
+        s = schedule_tasks(w, 16, policy="paws", geometry=cfg.geometry)
+        assert s.core_work.sum() == w.total_accesses
+
+    def test_load_balanced(self, cfg):
+        w = tiny_workload(n_parts=16, tasks_per_part=8)
+        for policy in ("ws", "paws"):
+            s = schedule_tasks(
+                w, 16, policy=policy, geometry=cfg.geometry, seed=2
+            )
+            assert s.imbalance < 1.5, policy
+
+    def test_paws_improves_affinity(self, cfg):
+        """PaWS runs far more tasks on their home core than classic WS."""
+        w = tiny_workload(n_parts=16, tasks_per_part=8)
+        ws = schedule_tasks(w, 16, policy="ws", geometry=cfg.geometry, seed=3)
+        paws = schedule_tasks(
+            w, 16, policy="paws", geometry=cfg.geometry, seed=3
+        )
+
+        def affinity(s):
+            hits = sum(
+                1
+                for tid, core in enumerate(s.assignment)
+                if core == w.tasks[tid].home
+            )
+            return hits / len(w.tasks)
+
+        assert affinity(paws) > affinity(ws) + 0.3
+
+    def test_phases_respected(self, cfg):
+        """Tasks keep their phase's work separate (barrier semantics)."""
+        tasks = [
+            Task(home=0, phase=0, streams={0: np.zeros(10)}),
+            Task(home=0, phase=1, streams={0: np.zeros(10)}),
+        ]
+        w = ParallelWorkload(
+            name="x", tasks=tasks, region_names={0: "a"},
+            partition_of_region={0: 0}, n_partitions=1,
+        )
+        s = schedule_tasks(w, 4, policy="ws", seed=0)
+        assert all(c >= 0 for c in s.assignment)
+
+
+class TestParallelApps:
+    def test_registry_matches_fig13(self):
+        assert set(PARALLEL_APPS) == {
+            "mergesort",
+            "fft",
+            "delaunay",
+            "pagerank",
+            "connectedComponents",
+            "triangleCounting",
+        }
+
+    def test_unknown_app(self):
+        with pytest.raises(ValueError):
+            build_parallel_workload("quicksort")
+
+    @pytest.mark.parametrize("name", sorted(PARALLEL_APPS))
+    def test_builds_with_16_partitions(self, name):
+        w = build_parallel_workload(name, scale="train", seed=0)
+        assert w.n_partitions == 16
+        assert w.total_accesses > 0
+        homes = {t.home for t in w.tasks}
+        assert homes == set(range(16))
+
+    def test_fft_partners_follow_butterfly(self):
+        w = build_parallel_workload("fft", scale="train", seed=0)
+        for t in w.tasks:
+            regions = set(t.streams)
+            assert t.home in regions
+            others = regions - {t.home}
+            if others:
+                (q,) = others
+                stride = 1 << t.phase
+                assert q == t.home ^ stride
+
+    def test_graph_apps_have_remote_accesses(self):
+        w = build_parallel_workload("pagerank", scale="train", seed=0)
+        remote = sum(
+            len(s)
+            for t in w.tasks
+            for r, s in t.streams.items()
+            if r != t.home
+        )
+        assert remote > 0
+
+
+class TestFig13Shape:
+    @pytest.fixture(scope="class")
+    def results(self, request):
+        cfg = sixteen_core_config()
+        pw = build_parallel_workload("pagerank", scale="train", seed=0)
+        return {s: evaluate_parallel(pw, cfg, s) for s in PARALLEL_SCHEMES}
+
+    def test_unknown_scheme(self, cfg):
+        pw = build_parallel_workload("fft", scale="train", seed=0)
+        with pytest.raises(ValueError):
+            evaluate_parallel(pw, cfg, "r-nuca")
+
+    def test_jigsaw_close_to_snuca(self, results):
+        """Work stealing defeats Jigsaw's placement (Sec 3.4)."""
+        ratio = results["jigsaw"].cycles / results["snuca"].cycles
+        assert 0.85 < ratio < 1.15
+
+    def test_paws_helps_jigsaw(self, results):
+        assert results["jigsaw+paws"].cycles < results["jigsaw"].cycles
+
+    def test_whirlpool_paws_best(self, results):
+        best = min(r.cycles for s, r in results.items() if s != "whirlpool+paws")
+        assert results["whirlpool+paws"].cycles < best
+        assert results["whirlpool+paws"].energy.total < min(
+            r.energy.total
+            for s, r in results.items()
+            if s != "whirlpool+paws"
+        )

@@ -1,0 +1,97 @@
+"""Unit tests for greedy + trading placement."""
+
+import pytest
+
+from repro.nuca import MeshGeometry
+from repro.schemes import greedy_placement, trading_placement
+
+BANK = 512 * 1024
+
+
+@pytest.fixture
+def geo():
+    return MeshGeometry(dim=5, n_cores=4, bank_bytes=BANK)
+
+
+class TestGreedy:
+    def test_capacity_satisfied(self, geo):
+        demands = {0: (0, 3 * BANK, 1000.0)}
+        p = greedy_placement(geo, demands)[0]
+        assert p.total_bytes == 3 * BANK
+
+    def test_closest_banks_first(self, geo):
+        demands = {0: (0, 2 * BANK, 1000.0)}
+        p = greedy_placement(geo, demands)[0]
+        hops = p.avg_hops(geo.distances(0))
+        assert hops == pytest.approx(geo.reach_avg_hops(0, 2 * BANK))
+
+    def test_intense_vc_gets_priority(self, geo):
+        # Small hot VC vs large cold VC, same core.
+        demands = {
+            0: (0, BANK, 100.0),  # intensity 100/BANK
+            1: (0, 4 * BANK, 100.0),  # intensity 25/BANK
+        }
+        p = greedy_placement(geo, demands)
+        d = geo.distances(0)
+        assert p[0].avg_hops(d) < p[1].avg_hops(d)
+
+    def test_banks_not_oversubscribed(self, geo):
+        demands = {i: (i % 4, 8 * BANK, 100.0) for i in range(4)}
+        ps = greedy_placement(geo, demands)
+        usage = {}
+        for p in ps.values():
+            for bank, b in p.bank_bytes.items():
+                usage[bank] = usage.get(bank, 0) + b
+        assert all(v <= BANK + 1e-6 for v in usage.values())
+
+    def test_zero_size_vc_empty(self, geo):
+        ps = greedy_placement(geo, {0: (0, 0.0, 10.0)})
+        assert ps[0].total_bytes == 0
+
+
+class TestTrading:
+    def total_movement(self, geo, demands, placements):
+        total = 0.0
+        for vc, (core, size, acc) in demands.items():
+            if size <= 0:
+                continue
+            intensity = acc / size
+            d = geo.distances(core)
+            for bank, b in placements[vc].bank_bytes.items():
+                total += intensity * d[bank] * b
+        return total
+
+    def test_never_worse_than_greedy(self, geo):
+        demands = {
+            0: (0, 3 * BANK, 500.0),
+            1: (2, 3 * BANK, 2000.0),
+            2: (1, 2 * BANK, 100.0),
+        }
+        g = greedy_placement(geo, demands)
+        t = trading_placement(geo, demands)
+        assert self.total_movement(geo, demands, t) <= self.total_movement(
+            geo, demands, g
+        ) + 1e-6
+
+    def test_capacity_preserved(self, geo):
+        demands = {0: (0, 3 * BANK, 500.0), 1: (2, 5 * BANK, 900.0)}
+        t = trading_placement(geo, demands)
+        assert t[0].total_bytes == pytest.approx(3 * BANK)
+        assert t[1].total_bytes == pytest.approx(5 * BANK)
+
+    def test_single_vc_unchanged(self, geo):
+        demands = {0: (0, 2 * BANK, 100.0)}
+        t = trading_placement(geo, demands)
+        assert t[0].avg_hops(geo.distances(0)) == pytest.approx(
+            geo.reach_avg_hops(0, 2 * BANK)
+        )
+
+    def test_contended_cores_split_territory(self, geo):
+        """Two cores with hot VCs should each keep their nearby banks."""
+        demands = {0: (0, 6 * BANK, 5000.0), 1: (2, 6 * BANK, 5000.0)}
+        t = trading_placement(geo, demands)
+        h0 = t[0].avg_hops(geo.distances(0))
+        h1 = t[1].avg_hops(geo.distances(2))
+        # Each VC should sit far closer to its own core than S-NUCA would.
+        assert h0 < geo.snuca_avg_hops(0)
+        assert h1 < geo.snuca_avg_hops(2)

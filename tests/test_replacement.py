@@ -1,0 +1,153 @@
+"""Unit tests for replacement policies and the event-driven cache."""
+
+import numpy as np
+import pytest
+
+from repro.nuca import CacheSim
+from repro.replacement import BRRIP, DRRIP, LRU, SHiP, SRRIP, PoolAwareDRRIP
+
+
+def lru(n_sets, n_ways):
+    return LRU(n_sets, n_ways)
+
+
+class TestCacheSim:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            CacheSim(size_bytes=100, ways=8, policy_factory=lru)
+
+    def test_cold_then_hit(self):
+        cache = CacheSim(size_bytes=8 * 64, ways=8, policy_factory=lru)
+        assert cache.access(5) is False
+        assert cache.access(5) is True
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction_order(self):
+        # Fully associative 4-line cache.
+        cache = CacheSim(size_bytes=4 * 64, ways=4, policy_factory=lru)
+        for addr in [0, 4, 8, 12]:
+            cache.access(addr * cache.n_sets)  # force same set
+        # All map to set 0 (multiples of n_sets=1... n_sets=1 here).
+        assert cache.n_sets == 1
+        cache.access(16)  # evicts 0 (LRU)
+        assert cache.access(4 * cache.n_sets) is True  # 4 still resident
+        assert cache.access(0) is False  # 0 was evicted
+
+    def test_run_returns_stats(self):
+        cache = CacheSim(size_bytes=64 * 64, ways=8, policy_factory=lru)
+        lines = np.array([1, 2, 3, 1, 2, 3], dtype=np.int64)
+        stats = cache.run(lines)
+        assert stats.accesses == 6
+        assert stats.hits == 3
+
+    def test_miss_rate_property(self):
+        cache = CacheSim(size_bytes=64 * 64, ways=8, policy_factory=lru)
+        cache.run(np.array([1, 1], dtype=np.int64))
+        assert cache.stats.miss_rate == 0.5
+
+    def test_empty_stats(self):
+        cache = CacheSim(size_bytes=64 * 64, ways=8, policy_factory=lru)
+        assert cache.stats.miss_rate == 0.0
+
+
+class TestLRUMatchesMattson:
+    def test_lru_miss_rate_close_to_stack_distance_model(self):
+        """High-associativity LRU ≈ the analytical Mattson curve."""
+        from repro.curves import StackDistanceProfiler
+
+        rng = np.random.default_rng(42)
+        # Zipf-ish reuse over 4096 lines.
+        lines = (rng.zipf(1.3, size=30000) % 4096).astype(np.int64)
+        size_lines = 1024
+        cache = CacheSim(size_bytes=size_lines * 64, ways=16, policy_factory=lru)
+        stats = cache.run(lines)
+
+        prof = StackDistanceProfiler(chunk_bytes=64 * 64, n_chunks=128)
+        curve = prof.profile_combined(lines, instructions=len(lines) * 10)[0]
+        predicted = curve.misses_at(size_lines * 64)
+        assert stats.misses == pytest.approx(predicted, rel=0.15)
+
+
+class TestRRIP:
+    def run_policy(self, factory, lines, size_lines=256, ways=16):
+        cache = CacheSim(size_bytes=size_lines * 64, ways=ways, policy_factory=factory)
+        return cache.run(np.asarray(lines, dtype=np.int64))
+
+    def scan_trace(self, hot=64, scan=4096, reps=20, seed=0):
+        """Hot set + big streaming scan: thrash-resistance stress test."""
+        rng = np.random.default_rng(seed)
+        chunks = []
+        scan_base = 1 << 20
+        for r in range(reps):
+            chunks.append(rng.integers(0, hot, size=256))
+            chunks.append(np.arange(scan) + scan_base)
+        return np.concatenate(chunks)
+
+    def test_srrip_promotes_on_hit(self):
+        stats = self.run_policy(
+            lambda s, w: SRRIP(s, w), [1, 1, 1, 1], size_lines=8, ways=8
+        )
+        assert stats.hits == 3
+
+    def test_brrip_resists_scans_better_than_lru(self):
+        trace = self.scan_trace()
+        lru_stats = self.run_policy(lru, trace)
+        brrip_stats = self.run_policy(lambda s, w: BRRIP(s, w), trace)
+        assert brrip_stats.misses < lru_stats.misses
+
+    def test_drrip_close_to_best_of_both(self):
+        trace = self.scan_trace()
+        lru_m = self.run_policy(lru, trace).misses
+        brrip_m = self.run_policy(lambda s, w: BRRIP(s, w), trace).misses
+        drrip_m = self.run_policy(lambda s, w: DRRIP(s, w), trace).misses
+        assert drrip_m <= max(lru_m, brrip_m)
+        assert drrip_m <= 1.3 * min(lru_m, brrip_m)
+
+    def test_friendly_trace_drrip_no_worse_than_srrip(self):
+        rng = np.random.default_rng(1)
+        trace = rng.integers(0, 128, size=8000)
+        srrip_m = self.run_policy(lambda s, w: SRRIP(s, w), trace).misses
+        drrip_m = self.run_policy(lambda s, w: DRRIP(s, w), trace).misses
+        assert drrip_m <= 1.25 * srrip_m
+
+
+class TestSHiP:
+    def test_dead_signature_learned(self):
+        """A never-reused pool should stop polluting the cache."""
+        rng = np.random.default_rng(2)
+        hot = rng.integers(0, 64, size=4000)
+        stream = np.arange(4000) + (1 << 20)
+        lines = np.empty(8000, dtype=np.int64)
+        lines[0::2] = hot
+        lines[1::2] = stream
+        pools = np.empty(8000, dtype=np.int64)
+        pools[0::2] = 0
+        pools[1::2] = 1
+
+        ship_cache = CacheSim(size_bytes=128 * 64, ways=16,
+                              policy_factory=lambda s, w: SHiP(s, w))
+        lru_cache = CacheSim(size_bytes=128 * 64, ways=16, policy_factory=lru)
+        ship_stats = ship_cache.run(lines, pools)
+        lru_stats = lru_cache.run(lines, pools)
+        assert ship_stats.misses < lru_stats.misses
+
+
+class TestPoolAwareDRRIP:
+    def test_runs_and_is_sane(self):
+        rng = np.random.default_rng(3)
+        hot = rng.integers(0, 64, size=3000)
+        stream = np.arange(3000) + (1 << 20)
+        lines = np.empty(6000, dtype=np.int64)
+        lines[0::2] = hot
+        lines[1::2] = stream
+        pools = np.empty(6000, dtype=np.int64)
+        pools[0::2] = 0
+        pools[1::2] = 1
+        cache = CacheSim(
+            size_bytes=128 * 64,
+            ways=16,
+            policy_factory=lambda s, w: PoolAwareDRRIP(s, w, n_pools=2),
+        )
+        stats = cache.run(lines, pools)
+        assert 0 < stats.misses < stats.accesses

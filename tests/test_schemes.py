@@ -1,0 +1,222 @@
+"""Unit tests for the cache-management schemes."""
+
+import numpy as np
+import pytest
+
+from repro.curves import MissCurve
+from repro.nuca import four_core_config
+from repro.schemes import (
+    AwasthiScheme,
+    IdealSPDScheme,
+    JigsawScheme,
+    SNUCAScheme,
+    VCSpec,
+)
+from repro.schemes.awasthi import INITIAL_BANKS
+
+_MB = 1 << 20
+CHUNK = 64 * 1024
+
+
+def curve(values, accesses=None, instr=1_000_000.0):
+    values = np.asarray(values, dtype=float)
+    return MissCurve(
+        misses=values,
+        chunk_bytes=CHUNK,
+        accesses=float(values[0]) if accesses is None else accesses,
+        instructions=instr,
+    )
+
+
+def flat_curve(level, n, accesses, instr=1_000_000.0):
+    """A streaming pool: misses independent of size."""
+    return curve([level] * (n + 1), accesses=accesses, instr=instr)
+
+
+def cliff_curve(peak, cliff_chunks, n, accesses=None, instr=1_000_000.0):
+    """All misses until `cliff_chunks`, none after (working set cliff).
+
+    ``accesses`` defaults to ``peak``: with no capacity everything
+    misses, beyond the cliff everything hits.
+    """
+    vals = [peak] * cliff_chunks + [0.0] * (n + 1 - cliff_chunks)
+    return curve(vals, accesses=accesses or peak, instr=instr)
+
+
+@pytest.fixture
+def cfg():
+    return four_core_config()
+
+
+def n_model(cfg):
+    return cfg.model_chunks
+
+
+class TestSNUCA:
+    def test_rejects_unknown_replacement(self, cfg):
+        with pytest.raises(ValueError):
+            SNUCAScheme(cfg, [VCSpec(0, "p")], replacement="fifo")
+
+    def test_spreads_over_all_banks(self, cfg):
+        s = SNUCAScheme(cfg, [VCSpec(0, "p")], "lru")
+        alloc = s.decide({0: flat_curve(10, n_model(cfg), 100)})
+        assert alloc[0].size_bytes == cfg.llc_bytes
+        assert alloc[0].avg_hops == pytest.approx(cfg.geometry.snuca_avg_hops(0))
+
+    def test_drrip_beats_lru_on_cliff_past_cache(self, cfg):
+        """Thrashing working set slightly beyond the LLC (scan resistance)."""
+        n = n_model(cfg)
+        cliff = int(cfg.llc_bytes * 1.3 / CHUNK)
+        c = cliff_curve(1000, cliff, n)
+        vcs = [VCSpec(0, "p")]
+        lru = SNUCAScheme(cfg, vcs, "lru").step({0: c}, {0: c}, 1e6)
+        drrip = SNUCAScheme(cfg, vcs, "drrip").step({0: c}, {0: c}, 1e6)
+        assert drrip.misses < lru.misses
+
+    def test_drrip_equals_lru_on_convex_curve(self, cfg):
+        n = n_model(cfg)
+        vals = 1000 * np.power(0.97, np.arange(n + 1))
+        c = curve(vals)
+        vcs = [VCSpec(0, "p")]
+        lru = SNUCAScheme(cfg, vcs, "lru").step({0: c}, {0: c}, 1e6)
+        drrip = SNUCAScheme(cfg, vcs, "drrip").step({0: c}, {0: c}, 1e6)
+        assert drrip.misses == pytest.approx(lru.misses, rel=0.01)
+
+    def test_shared_misses_exceed_solo(self, cfg):
+        """Two thrashy programs sharing S-NUCA interfere (combined model)."""
+        n = n_model(cfg)
+        cliff = int(cfg.llc_bytes * 0.7 / CHUNK)
+        a = cliff_curve(1000, cliff, n)
+        b = cliff_curve(1000, cliff, n)
+        vcs = [VCSpec(0, "a", 0), VCSpec(1, "b", 2)]
+        s = SNUCAScheme(cfg, vcs, "lru")
+        stats = s.step({0: a, 1: b}, {0: a, 1: b}, 1e6)
+        solo = a.misses_at(cfg.llc_bytes) + b.misses_at(cfg.llc_bytes)
+        assert stats.misses > solo
+
+
+class TestIdealSPD:
+    def test_small_ws_mostly_private_hits(self, cfg):
+        n = n_model(cfg)
+        c = cliff_curve(1000, int(1.0 * _MB / CHUNK), n)  # 1 MB WS
+        s = IdealSPDScheme(cfg, [VCSpec(0, "p")])
+        stats = s.step({0: c}, {0: c}, 1e6)
+        assert stats.misses == pytest.approx(0, abs=1)
+        assert stats.hits == pytest.approx(c.accesses, rel=0.01)
+
+    def test_large_ws_pays_multilevel_lookups(self, cfg):
+        """When the WS exceeds the private region, IdealSPD is slower AND
+        more energy-hungry than a plain shared LRU cache."""
+        n = n_model(cfg)
+        c = cliff_curve(1000, int(8 * _MB / CHUNK), n)
+        vcs = [VCSpec(0, "p")]
+        spd = IdealSPDScheme(cfg, vcs).step({0: c}, {0: c}, 1e6)
+        lru = SNUCAScheme(cfg, vcs, "lru").step({0: c}, {0: c}, 1e6)
+        assert spd.stall_cycles > lru.stall_cycles
+        assert spd.energy.total > lru.energy.total
+
+
+class TestAwasthi:
+    def test_starts_near_four_banks(self, cfg):
+        """The initial allocation is 4 banks; a WS cliff exactly there
+        keeps the hill climber in place."""
+        s = AwasthiScheme(cfg, [VCSpec(0, "p")])
+        n = n_model(cfg)
+        cliff = INITIAL_BANKS * cfg.geometry.bank_bytes // CHUNK
+        c = cliff_curve(5000, cliff, n)
+        alloc = s.decide({0: c})
+        assert alloc[0].size_bytes == INITIAL_BANKS * cfg.geometry.bank_bytes
+
+    def test_grows_on_steep_curve(self, cfg):
+        n = n_model(cfg)
+        # Steady 3%/chunk decay: per-bank steps stay visibly beneficial
+        # well past the initial four banks.
+        vals = 5000 * np.power(0.97, np.arange(n + 1))
+        c = curve(vals, accesses=5000)
+        s = AwasthiScheme(cfg, [VCSpec(0, "p")])
+        for __ in range(20):
+            alloc = s.decide({0: c})
+        assert alloc[0].size_bytes > INITIAL_BANKS * cfg.geometry.bank_bytes
+
+    def test_stuck_on_diffuse_gains(self, cfg):
+        """A working-set cliff far beyond the current allocation gives no
+        visible per-page benefit -> the hill climber never grows (Fig 9)."""
+        n = n_model(cfg)
+        cliff = int(10 * _MB / CHUNK)
+        c = cliff_curve(1000, cliff, n, accesses=5000)
+        s = AwasthiScheme(cfg, [VCSpec(0, "p")])
+        for __ in range(20):
+            alloc = s.decide({0: c})
+        assert alloc[0].size_bytes <= (INITIAL_BANKS + 1) * cfg.geometry.bank_bytes
+
+    def test_migration_energy_charged(self, cfg):
+        n = n_model(cfg)
+        c = flat_curve(10, n, accesses=100)
+        s = AwasthiScheme(cfg, [VCSpec(0, "p")])
+        stats = s.step({0: c}, {0: c}, 1e6)
+        lru = SNUCAScheme(cfg, [VCSpec(0, "p")], "lru").step({0: c}, {0: c}, 1e6)
+        # Bank energy includes page-move read/write traffic.
+        assert stats.energy.bank > lru.energy.bank
+
+
+class TestJigsaw:
+    def test_latency_aware_sizing_leaves_far_banks_unused(self, cfg):
+        """dt behaviour (Fig 4): once the WS fits, extra banks only add
+        network latency, so they stay unused."""
+        n = n_model(cfg)
+        c = cliff_curve(50_000, int(5 * _MB / CHUNK), n)
+        s = JigsawScheme(cfg, [VCSpec(0, "p")])
+        alloc = s.decide({0: c})
+        assert 4.5 * _MB <= alloc[0].size_bytes <= 7 * _MB
+
+    def test_bypasses_streaming_vc(self, cfg):
+        n = n_model(cfg)
+        stream = flat_curve(40_000, n, accesses=40_000)
+        s = JigsawScheme(cfg, [VCSpec(0, "edges", bypassable=True)])
+        alloc = s.decide({0: stream})
+        # Bypass engages only after two consecutive epochs (hysteresis:
+        # entering bypass mode costs an invalidation).
+        assert not alloc[0].bypass
+        assert alloc[0].size_bytes == 0
+        alloc = s.decide({0: stream})
+        assert alloc[0].bypass
+        assert alloc[0].size_bytes == 0
+
+    def test_nobypass_still_checks_cache(self, cfg):
+        n = n_model(cfg)
+        stream = flat_curve(40_000, n, accesses=40_000)
+        s = JigsawScheme(cfg, [VCSpec(0, "edges")], bypass=False)
+        alloc = s.decide({0: stream})
+        assert not alloc[0].bypass
+
+    def test_pools_partitioned_by_value(self, cfg):
+        """Cacheable pool gets capacity; streaming pool gets bypassed."""
+        n = n_model(cfg)
+        good = cliff_curve(60_000, int(3 * _MB / CHUNK), n)
+        bad = flat_curve(60_000, n, accesses=60_000)
+        s = JigsawScheme(
+            cfg, [VCSpec(0, "flags"), VCSpec(1, "edges")], bypass=True
+        )
+        s.decide({0: good, 1: bad})  # first epoch: hysteresis
+        alloc = s.decide({0: good, 1: bad})
+        assert alloc[0].size_bytes >= 2.5 * _MB
+        assert alloc[1].bypass
+
+    def test_intense_pool_placed_closer(self, cfg):
+        n = n_model(cfg)
+        hot = cliff_curve(80_000, int(0.5 * _MB / CHUNK), n)
+        cold = cliff_curve(80_000, int(4 * _MB / CHUNK), n)
+        s = JigsawScheme(cfg, [VCSpec(0, "points"), VCSpec(1, "triangles")])
+        alloc = s.decide({0: hot, 1: cold})
+        assert alloc[0].avg_hops < alloc[1].avg_hops
+
+    def test_step_accounts_bypasses(self, cfg):
+        n = n_model(cfg)
+        stream = flat_curve(40_000, n, accesses=40_000)
+        s = JigsawScheme(cfg, [VCSpec(0, "edges")])
+        s.step({0: stream}, {0: stream}, 1e6)  # hysteresis epoch
+        stats = s.step({0: stream}, {0: stream}, 1e6)
+        assert stats.bypasses == 40_000
+        assert stats.hits == 0
+        # Bypasses consume no bank energy.
+        assert stats.energy.bank == 0

@@ -1,0 +1,116 @@
+"""Unit tests for trace containers and the trace builder."""
+
+import numpy as np
+import pytest
+
+from repro.mem import HeapAllocator
+from repro.workloads.trace import Trace, TraceBuilder, interleave
+
+
+class TestTrace:
+    def make(self):
+        return Trace(
+            lines=np.array([1, 2, 3, 1]),
+            regions=np.array([0, 1, 1, 0]),
+            instructions=4000.0,
+            region_names={0: "a", 1: "b"},
+        )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(lines=np.zeros(2), regions=np.zeros(3), instructions=1.0)
+
+    def test_nonpositive_instructions_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(lines=np.zeros(2), regions=np.zeros(2), instructions=0.0)
+
+    def test_apki(self):
+        assert self.make().apki == 1.0
+
+    def test_region_apki(self):
+        apki = self.make().region_apki()
+        assert apki[0] == pytest.approx(0.5)
+        assert apki[1] == pytest.approx(0.5)
+
+    def test_region_footprint(self):
+        fp = self.make().region_footprint_bytes()
+        assert fp[0] == 64  # one distinct line
+        assert fp[1] == 128  # two distinct lines
+
+    def test_slice_prorates_instructions(self):
+        t = self.make().slice_accesses(0, 2)
+        assert len(t) == 2
+        assert t.instructions == pytest.approx(2000.0)
+
+
+class TestInterleave:
+    def test_proportional(self):
+        a = np.array([1, 1, 1, 1])
+        b = np.array([2, 2])
+        merged, src = interleave(a, b)
+        assert len(merged) == 6
+        # b's elements land near positions 1/4 and 3/4 of the stream.
+        positions = np.nonzero(src == 1)[0]
+        assert positions[0] in (1, 2)
+        assert positions[1] in (4, 5)
+
+    def test_preserves_order_within_stream(self):
+        a = np.array([10, 20, 30])
+        b = np.array([1, 2, 3])
+        merged, src = interleave(a, b)
+        assert list(merged[src == 0]) == [10, 20, 30]
+        assert list(merged[src == 1]) == [1, 2, 3]
+
+    def test_empty_streams_skipped(self):
+        merged, src = interleave(np.array([]), np.array([5]))
+        assert list(merged) == [5]
+        assert list(src) == [1]
+
+    def test_all_empty(self):
+        merged, src = interleave(np.array([]), np.array([]))
+        assert len(merged) == 0
+
+
+class TestTraceBuilder:
+    def test_basic_flow(self):
+        tb = TraceBuilder()
+        r = tb.region("data")
+        tb.access(np.array([0, 64, 128]), r)
+        trace = tb.finalize(instructions=3000.0)
+        assert list(trace.lines) == [0, 1, 2]
+        assert trace.region_names[r] == "data"
+
+    def test_unregistered_region_rejected(self):
+        tb = TraceBuilder()
+        with pytest.raises(ValueError):
+            tb.access(np.array([0]), 99)
+
+    def test_empty_finalize_rejected(self):
+        with pytest.raises(ValueError):
+            TraceBuilder().finalize(instructions=1.0)
+
+    def test_region_with_allocation_uses_callpoint(self):
+        heap = HeapAllocator()
+        a = heap.malloc(100)
+        tb = TraceBuilder()
+        rid = tb.region("x", a)
+        assert rid == a.callpoint
+
+    def test_distinct_auto_region_ids(self):
+        tb = TraceBuilder()
+        assert tb.region("a") != tb.region("b")
+
+    def test_interleaved_accesses(self):
+        tb = TraceBuilder()
+        ra = tb.region("a")
+        rb = tb.region("b")
+        tb.access_interleaved({ra: np.array([0, 64]), rb: np.array([128, 192])})
+        trace = tb.finalize(1000.0)
+        assert len(trace) == 4
+        assert set(trace.regions.tolist()) == {ra, rb}
+
+    def test_n_accesses(self):
+        tb = TraceBuilder()
+        r = tb.region("a")
+        tb.access(np.array([0, 64]), r)
+        assert tb.n_accesses == 2

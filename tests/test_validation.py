@@ -1,0 +1,79 @@
+"""Cross-validation: analytical models vs the event-driven simulator.
+
+The NUCA schemes are analytical (miss curves + latency model); these
+tests pin them against the concrete set-associative simulator so the
+analytical layer cannot silently drift.
+"""
+
+import numpy as np
+import pytest
+
+from repro.curves import StackDistanceProfiler
+from repro.curves.combine import shared_cache_misses
+from repro.nuca import CacheSim
+from repro.replacement import LRU
+from repro.workloads import build_workload
+from repro.workloads.patterns import zipf_random
+from repro.mem import HeapAllocator
+
+
+def lru_factory(s, w):
+    return LRU(s, w)
+
+
+class TestAnalyticalVsEventDriven:
+    def test_single_stream_miss_rate(self):
+        """Mattson curve matches simulated LRU on a real app trace."""
+        w = build_workload("bzip2", scale="train", seed=0)
+        lines = w.trace.lines[:250_000]
+        # Fold into a small address space so a small cache is exercised.
+        folded = (lines % (1 << 16)).astype(np.int64)
+        cache_lines = 4096  # 256 KB
+        sim = CacheSim(
+            size_bytes=cache_lines * 64, ways=16, policy_factory=lru_factory
+        )
+        stats = sim.run(folded)
+        prof = StackDistanceProfiler(chunk_bytes=64 * 64, n_chunks=1 << 12)
+        curve = prof.profile_combined(folded, instructions=1e6)[0]
+        predicted = curve.misses_at(cache_lines * 64)
+        assert stats.misses == pytest.approx(predicted, rel=0.12)
+
+    def test_shared_cache_flow_model(self):
+        """Appendix-B k-way sharing tracks a simulated shared cache."""
+        rng = np.random.default_rng(0)
+        heap = HeapAllocator()
+        a = heap.malloc(1 << 20)
+        b = heap.malloc(4 << 20)
+        stream_a = zipf_random(rng, a, 150_000, alpha=1.2)
+        stream_b = zipf_random(rng, b, 150_000, alpha=1.05)
+        # Interleave 1:1.
+        merged = np.empty(300_000, dtype=np.int64)
+        merged[0::2] = stream_a // 64
+        merged[1::2] = stream_b // 64
+        cache_bytes = 1 << 20
+        sim = CacheSim(size_bytes=cache_bytes, ways=16, policy_factory=lru_factory)
+        total_sim = sim.run(merged).misses
+
+        prof = StackDistanceProfiler(chunk_bytes=64 * 1024, n_chunks=128)
+        ca = prof.profile_combined(stream_a // 64, instructions=1e6)[0]
+        cb = prof.profile_combined(stream_b // 64, instructions=1e6)[0]
+        predicted = sum(shared_cache_misses([ca, cb], cache_bytes))
+        assert total_sim == pytest.approx(predicted, rel=0.2)
+
+    def test_shared_model_per_stream_bounds(self):
+        """Each stream's shared misses >= its solo misses at full size."""
+        rng = np.random.default_rng(1)
+        heap = HeapAllocator()
+        a = heap.malloc(2 << 20)
+        b = heap.malloc(2 << 20)
+        sa = zipf_random(rng, a, 80_000, alpha=1.3) // 64
+        sb = zipf_random(rng, b, 80_000, alpha=1.1) // 64
+        prof = StackDistanceProfiler(chunk_bytes=64 * 1024, n_chunks=96)
+        ca = prof.profile_combined(sa, instructions=1e6)[0]
+        cb = prof.profile_combined(sb, instructions=1e6)[0]
+        size = 1 << 20
+        shared = shared_cache_misses([ca, cb], size)
+        assert shared[0] >= ca.misses_at(size) - 1e-6
+        assert shared[1] >= cb.misses_at(size) - 1e-6
+        assert shared[0] <= ca.accesses + 1e-6
+        assert shared[1] <= cb.accesses + 1e-6

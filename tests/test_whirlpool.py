@@ -1,0 +1,89 @@
+"""Unit tests for the Whirlpool scheme wrapper and Table-2 registry."""
+
+import pytest
+
+from repro.core import TABLE2, table2_rows, whirlpool
+from repro.core.whirlpool import MAX_USER_POOLS, WhirlpoolScheme
+from repro.nuca import four_core_config
+from repro.schemes import VCSpec
+from repro.sim import simulate
+from repro.workloads import MANUAL_APPS, build_workload
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return four_core_config()
+
+
+class TestTable2:
+    def test_twelve_apps(self):
+        assert len(TABLE2) == 12
+
+    def test_rows_match_paper(self):
+        rows = dict((r[0], r[1:]) for r in table2_rows())
+        assert rows["Maximal independent set"] == (
+            3, "Vertices, edges, flags", 13
+        )
+        assert rows["436.cactusADM"][0] == 2
+        assert rows["401.bzip2"][2] == 43
+
+    def test_workloads_exist_for_all_entries(self):
+        for entry in TABLE2:
+            assert entry.workload in MANUAL_APPS
+
+    def test_pool_counts_consistent_with_workloads(self):
+        for entry in TABLE2:
+            w = build_workload(entry.workload, scale="train")
+            assert len(set(w.manual_pools.values())) == entry.pools
+
+
+class TestWhirlpoolScheme:
+    def test_name(self, cfg):
+        s = WhirlpoolScheme(cfg, [VCSpec(0, "process")])
+        assert s.name == "Whirlpool"
+        s2 = WhirlpoolScheme(cfg, [VCSpec(0, "process")], bypass=False)
+        assert s2.name == "Whirlpool-NoBypass"
+
+    def test_vtb_budget_enforced(self, cfg):
+        vcs = [VCSpec(0, "process")] + [
+            VCSpec(i + 1, f"pool{i}") for i in range(MAX_USER_POOLS + 2)
+        ]
+        with pytest.raises(ValueError):
+            WhirlpoolScheme(cfg, vcs)
+
+    def test_area_overhead_small(self, cfg):
+        """Sec 3.2: VTB entries + monitors ≈ 0.3% of cache area."""
+        s = WhirlpoolScheme(cfg, [VCSpec(0, "process")])
+        assert s.area_overhead_fraction < 0.005
+
+    def test_inherits_hull_accounting(self, cfg):
+        assert WhirlpoolScheme(cfg, [VCSpec(0, "p")]).hull_accounting
+
+
+class TestWhirlpoolEndToEnd:
+    def test_beats_jigsaw_on_manual_apps(self, cfg):
+        """Whirlpool never loses badly to Jigsaw on the ported apps."""
+        from repro.schemes import JigsawScheme
+
+        for app in ["MIS", "cactus", "lbm"]:
+            w = build_workload(app, scale="ref", seed=0)
+            jig = simulate(w, cfg, JigsawScheme)
+            factory, cls = whirlpool()
+            whirl = simulate(w, cfg, factory, classifier=cls)
+            assert whirl.cycles < jig.cycles * 1.01, app
+            assert whirl.energy.total < jig.energy.total * 1.05, app
+
+    def test_nobypass_ablation(self, cfg):
+        """Bypassing matters more for Whirlpool than for Jigsaw (Sec 4.5)."""
+        from repro.schemes import JigsawScheme
+
+        w = build_workload("MIS", scale="ref", seed=0)
+        factory_b, cls = whirlpool(bypass=True)
+        factory_n, __ = whirlpool(bypass=False)
+        whirl = simulate(w, cfg, factory_b, classifier=cls)
+        whirl_nb = simulate(w, cfg, factory_n, classifier=cls)
+        jig = simulate(w, cfg, JigsawScheme)
+        jig_nb = simulate(w, cfg, lambda c, v: JigsawScheme(c, v, bypass=False))
+        whirl_gain = whirl_nb.cycles / whirl.cycles
+        jig_gain = jig_nb.cycles / jig.cycles
+        assert whirl_gain >= jig_gain

@@ -1,0 +1,138 @@
+"""Unit tests for the zcache (Table 3's bank organization)."""
+
+import numpy as np
+import pytest
+
+from repro.curves import StackDistanceProfiler
+from repro.nuca import CacheSim, ZCache
+from repro.replacement import LRU
+
+
+class TestZCacheBasics:
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            ZCache(size_bytes=100, ways=4)
+        with pytest.raises(ValueError):
+            ZCache(size_bytes=64 * 64, ways=1)
+
+    def test_nominal_associativity_52(self):
+        """Table 3: 4-way, 52-candidate zcache."""
+        z = ZCache(size_bytes=512 * 1024, ways=4, walk_levels=2)
+        assert z.associativity == 4 + 12 + 36  # = 52
+
+    def test_hit_after_fill(self):
+        z = ZCache(size_bytes=64 * 64, ways=4)
+        assert z.access(123) is False
+        assert z.access(123) is True
+        assert z.stats.hits == 1
+
+    def test_capacity_respected(self):
+        """No more distinct lines resident than capacity."""
+        n_lines = 64
+        z = ZCache(size_bytes=n_lines * 64, ways=4)
+        for addr in range(200):
+            z.access(addr)
+        resident = int(np.count_nonzero(z._arrays >= 0))
+        assert resident <= n_lines
+
+    def test_small_working_set_all_hits(self):
+        z = ZCache(size_bytes=256 * 64, ways=4)
+        lines = np.tile(np.arange(64, dtype=np.int64), 20)
+        stats = z.run(lines)
+        # After the cold pass everything fits easily.
+        assert stats.misses <= 64 + 4
+
+
+class TestZCacheAssociativity:
+    def conflict_trace(self, n_sets, reps=30):
+        """Addresses that all collide in one set of a set-assoc cache."""
+        hot = np.arange(8, dtype=np.int64) * n_sets  # same set index
+        return np.tile(hot, reps)
+
+    def test_beats_setassoc_on_conflicts(self):
+        """8 lines hammering one 4-way set: set-assoc thrashes, the
+        zcache's candidate walk spreads them out."""
+        size = 64 * 64 * 4  # 256 lines, 4-way -> 64 sets
+        sa = CacheSim(size_bytes=size, ways=4, policy_factory=lambda s, w: LRU(s, w))
+        n_sets = sa.n_sets
+        trace = self.conflict_trace(n_sets)
+        sa_stats = sa.run(trace)
+        z = ZCache(size_bytes=size, ways=4)
+        z_stats = z.run(trace)
+        assert z_stats.misses < 0.5 * sa_stats.misses
+
+    def test_tracks_fully_associative_model(self):
+        """Bank-level validation of the analytical assumption: a 4-way
+        zcache behaves like the fully-associative Mattson curve."""
+        rng = np.random.default_rng(3)
+        lines = rng.zipf(1.4, size=40_000).astype(np.int64) % 4096
+        size_lines = 512
+        z = ZCache(size_bytes=size_lines * 64, ways=4)
+        stats = z.run(lines)
+        prof = StackDistanceProfiler(chunk_bytes=64 * 64, n_chunks=128)
+        curve = prof.profile_combined(lines, instructions=1e6)[0]
+        predicted = curve.misses_at(size_lines * 64)
+        assert stats.misses == pytest.approx(predicted, rel=0.2)
+
+
+class TestSweep:
+    def test_vary_config_axes(self):
+        from repro.nuca import four_core_config
+        from repro.sim import vary_config
+
+        cfg = four_core_config()
+        assert vary_config(cfg, "mesh_dim", 7).geometry.dim == 7
+        assert vary_config(cfg, "bank_kb", 256).geometry.bank_bytes == 256 * 1024
+        assert vary_config(cfg, "mem_latency", 200).latency.mem_latency == 200
+        assert vary_config(cfg, "base_cpi", 1.0).base_cpi == 1.0
+        with pytest.raises(ValueError):
+            vary_config(cfg, "voltage", 1.0)
+
+    def test_sweep_runs_and_shapes(self):
+        from repro.nuca import four_core_config
+        from repro.schemes import JigsawScheme, SNUCAScheme
+        from repro.sim import sweep
+        from repro.workloads import build_workload
+
+        w = build_workload("hull", scale="train", seed=0)
+        result = sweep(
+            w,
+            four_core_config(),
+            "mem_latency",
+            [60, 240],
+            {"Jigsaw": JigsawScheme, "LRU": lambda c, v: SNUCAScheme(c, v, "lru")},
+        )
+        assert result.axis == "mem_latency"
+        assert len(result.results) == 2
+        series = result.series("Jigsaw")
+        assert series[1] > series[0]  # slower memory -> more cycles
+        rel = result.relative_series("LRU", "Jigsaw")
+        assert all(r >= 0.99 for r in rel)
+
+
+class TestAwasthiAlphas:
+    def test_invalid_alphas(self):
+        from repro.nuca import four_core_config
+        from repro.schemes import AwasthiScheme, VCSpec
+
+        with pytest.raises(ValueError):
+            AwasthiScheme(four_core_config(), [VCSpec(0, "p")], alpha_a=1.5)
+
+    def test_aggressive_alpha_grows_more(self):
+        from repro.curves import MissCurve
+        from repro.nuca import four_core_config
+        from repro.schemes import AwasthiScheme, VCSpec
+
+        cfg = four_core_config()
+        n = cfg.model_chunks
+        vals = 5000 * np.power(0.985, np.arange(n + 1))
+        c = MissCurve(
+            misses=vals, chunk_bytes=cfg.chunk_bytes, accesses=5000.0,
+            instructions=1e6,
+        )
+        eager = AwasthiScheme(cfg, [VCSpec(0, "p")], alpha_a=0.001, alpha_b=0.001)
+        strict = AwasthiScheme(cfg, [VCSpec(0, "p")], alpha_a=0.1, alpha_b=0.2)
+        for __ in range(15):
+            a_eager = eager.decide({0: c})
+            a_strict = strict.decide({0: c})
+        assert a_eager[0].size_bytes >= a_strict[0].size_bytes
