@@ -1,29 +1,38 @@
 """Shared, memoized computation for the benchmark harness.
 
 Several figures reuse the same per-app evaluations (Fig 10/16/19/20/21
-all need the standard scheme comparison), so results are computed once
-per session and cached here.  Traces are dropped after use; only
-:class:`~repro.schemes.base.SchemeResult` objects are retained.
+all need the standard scheme comparison), so the harness runs every
+(app, scheme, classifier) cell as a ``repro.exp`` job through one
+session-wide store: jobs executed for one figure are skipped by every
+later figure that needs the same cell.  Set ``REPRO_BENCH_WORKERS=N``
+to fan the grid out over a process pool; the default executes in
+process (traces are dropped after use either way — only result records
+are retained).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
-from repro.analysis.compare import run_schemes
-from repro.core.whirlpool import WhirlpoolScheme
+from repro.analysis.compare import STANDARD_SCHEMES
 from repro.core.whirltool import (
     WhirlToolAnalyzer,
-    WhirlToolClassifier,
     WhirlToolProfiler,
 )
+from repro.exp import Job, MemoryStore, run_jobs
+from repro.exp.execute import cached_workload, execute_job, record_to_result
 from repro.nuca import four_core_config, sixteen_core_config
 from repro.schemes.base import SchemeResult
-from repro.sim import simulate
 from repro.workloads import build_workload
 
 CFG4 = four_core_config()
 CFG16 = sixteen_core_config()
+
+
+def bench_workers() -> int:
+    """Process-pool size for benchmark grids (0/1 = in-process)."""
+    return int(os.environ.get("REPRO_BENCH_WORKERS", "0") or 0)
 
 
 @dataclass
@@ -40,6 +49,24 @@ class AppResults:
 _APP_CACHE: dict[str, AppResults] = {}
 _CLUSTER_CACHE: dict[tuple[str, str, int], object] = {}
 
+#: Session-wide job store shared by every figure's grid.
+_STORE = MemoryStore()
+
+
+def run_grid(jobs: list[Job]) -> None:
+    """Run a job grid through the session store (skip-done semantics)."""
+    run_jobs(jobs, execute_job, store=_STORE, workers=bench_workers())
+
+
+def grid_record(job: Job) -> dict:
+    """The raw result record for one job (mix jobs have no SchemeResult)."""
+    return _STORE.get(job.key())
+
+
+def grid_result(job: Job) -> SchemeResult:
+    """The stored :class:`SchemeResult` for one job."""
+    return record_to_result(_STORE.get(job.key()))
+
 
 def clustering_for(app: str, train_scale: str = "train", seed: int = 0):
     """Train WhirlTool's clustering once per (app, scale)."""
@@ -51,44 +78,47 @@ def clustering_for(app: str, train_scale: str = "train", seed: int = 0):
     return _CLUSTER_CACHE[key]
 
 
+def _app_jobs(app: str, pool_counts: tuple[int, ...], with_manual: bool):
+    """The job grid behind one app's :class:`AppResults`."""
+    jobs = {}
+    for scheme in STANDARD_SCHEMES:
+        classifier = "whirltool:3" if scheme == "Whirlpool" else "single"
+        jobs[scheme] = Job(app=app, scheme=scheme, classifier=classifier)
+    for k in pool_counts:
+        jobs[f"wt{k}"] = Job(
+            app=app, scheme="Whirlpool", classifier=f"whirltool:{k}"
+        )
+    if with_manual:
+        jobs["manual"] = Job(app=app, scheme="Whirlpool", classifier="manual")
+    return jobs
+
+
 def app_results(app: str, pool_counts: tuple[int, ...] = (2, 3, 4)) -> AppResults:
     """Standard 6-scheme comparison + WhirlTool pool sweep for one app."""
     if app in _APP_CACHE:
         return _APP_CACHE[app]
-    workload = build_workload(app, scale="ref", seed=0)
-    clustering = clustering_for(app)
-    wt3 = WhirlToolClassifier(clustering, n_pools=3)
-    schemes = run_schemes(
-        workload, CFG4, whirlpool_classifier=wt3
+    # The manual-pool metadata is scale-invariant (Table 2 is checked at
+    # train scale), so peek at the cheap cached train build rather than
+    # constructing the ref trace in the parent.
+    workload = cached_workload(app, "train", 0)
+    manual_pools = (
+        len(set(workload.manual_pools.values()))
+        if workload.manual_pools
+        else None
     )
+    del workload
+    jobs = _app_jobs(app, pool_counts, with_manual=manual_pools is not None)
+    run_grid(list(jobs.values()))
+    schemes = {name: grid_result(jobs[name]) for name in STANDARD_SCHEMES}
     wt_results = {3: schemes["Whirlpool"]}
     for k in pool_counts:
-        if k == 3:
-            continue
-        cls = WhirlToolClassifier(clustering, n_pools=k)
-        wt_results[k] = simulate(
-            workload,
-            CFG4,
-            lambda c, v: WhirlpoolScheme(c, v),
-            classifier=cls,
-        )
-    manual = None
-    manual_pools = None
-    if workload.manual_pools:
-        from repro.schemes import ManualPoolClassifier
-
-        manual = simulate(
-            workload,
-            CFG4,
-            lambda c, v: WhirlpoolScheme(c, v),
-            classifier=ManualPoolClassifier(),
-        )
-        manual_pools = len(set(workload.manual_pools.values()))
+        if k != 3:
+            wt_results[k] = grid_result(jobs[f"wt{k}"])
     result = AppResults(
         app=app,
         schemes=schemes,
         whirltool=wt_results,
-        manual=manual,
+        manual=grid_result(jobs["manual"]) if manual_pools else None,
         manual_pools=manual_pools,
     )
     _APP_CACHE[app] = result

@@ -13,64 +13,52 @@ too).
 import zlib
 
 import numpy as np
-from _suite import CFG4, CFG16
+from _suite import grid_record, run_grid
 from conftest import once
 
 from repro.analysis import format_table, gmean
-from repro.core.whirlpool import WhirlpoolScheme
-from repro.core.whirltool import train_whirltool
-from repro.schemes import JigsawScheme, SingleVCClassifier
-from repro.sim import simulate_mix
-from repro.workloads import build_workload
+from repro.exp import Job
 from repro.workloads.registry import SPEC_APPS
 
 N_MIXES = 12
-_CLASSIFIER_CACHE = {}
+VARIANTS = ["Jigsaw", "Jigsaw-NoBypass", "Whirlpool", "Whirlpool-NoBypass"]
 
 
 def app_seed(name: str) -> int:
     return zlib.crc32(name.encode()) % 1000
 
 
-def classifier_for(name: str):
-    if name not in _CLASSIFIER_CACHE:
-        _CLASSIFIER_CACHE[name] = train_whirltool(
-            name, n_pools=3, seed=app_seed(name)
-        )
-    return _CLASSIFIER_CACHE[name]
-
-
-def run_mixes(config, n_cores):
+def mix_jobs(n_cores) -> dict[tuple[int, str], Job]:
+    """The (mix × variant) job grid; apps reuse name-derived seeds so
+    the profile cache is shared across mixes."""
     rng = np.random.default_rng(42)
-    speedups = {"Whirlpool": [], "Whirlpool-NoBypass": [], "Jigsaw-NoBypass": []}
-    for __ in range(N_MIXES):
+    jobs = {}
+    for mix in range(N_MIXES):
         names = [str(n) for n in rng.choice(SPEC_APPS, size=n_cores)]
-        apps = [
-            build_workload(n, scale="train", seed=app_seed(n)) for n in names
-        ]
-        single = [SingleVCClassifier()] * len(apps)
-        pooled = [classifier_for(n) for n in names]
-        variants = {
-            "Jigsaw": (JigsawScheme, single),
-            "Jigsaw-NoBypass": (
-                lambda c, v: JigsawScheme(c, v, bypass=False),
-                single,
-            ),
-            "Whirlpool": (lambda c, v: WhirlpoolScheme(c, v), pooled),
-            "Whirlpool-NoBypass": (
-                lambda c, v: WhirlpoolScheme(c, v, bypass=False),
-                pooled,
-            ),
-        }
-        results = {
-            name: simulate_mix(
-                apps, config, factory, classifiers=cls, n_intervals=8
+        for variant in VARIANTS:
+            jobs[(mix, variant)] = Job(
+                app="+".join(names),
+                scheme=variant,
+                config="4core" if n_cores == 4 else "16core",
+                scale="train",
+                classifier="auto",
+                n_intervals=8,
+                kind="mix",
+                mix_seeds=tuple(app_seed(n) for n in names),
             )
-            for name, (factory, cls) in variants.items()
-        }
-        base = sum(results["Jigsaw"].ipcs())
+    return jobs
+
+
+def run_mixes(n_cores):
+    jobs = mix_jobs(n_cores)
+    run_grid(list(jobs.values()))
+    speedups = {"Whirlpool": [], "Whirlpool-NoBypass": [], "Jigsaw-NoBypass": []}
+    for mix in range(N_MIXES):
+        base = sum(grid_record(jobs[(mix, "Jigsaw")])["ipcs"])
         for name in speedups:
-            speedups[name].append(sum(results[name].ipcs()) / base)
+            speedups[name].append(
+                sum(grid_record(jobs[(mix, name)])["ipcs"]) / base
+            )
     for name in speedups:
         speedups[name] = sorted(speedups[name], reverse=True)
     return speedups
@@ -78,7 +66,7 @@ def run_mixes(config, n_cores):
 
 def test_fig22_mixes(benchmark, report):
     def run():
-        return {"4-core": run_mixes(CFG4, 4), "16-core": run_mixes(CFG16, 16)}
+        return {"4-core": run_mixes(4), "16-core": run_mixes(16)}
 
     data = once(benchmark, run)
     sections = []

@@ -8,7 +8,12 @@
   scheme comparison set.
 """
 
-from repro.analysis.compare import STANDARD_SCHEMES, run_schemes
+from repro.analysis.compare import (
+    STANDARD_SCHEMES,
+    resolve_classifier,
+    run_scheme,
+    run_schemes,
+)
 from repro.analysis.placement_map import placement_map
 from repro.analysis.report import format_table, gmean, write_result
 
@@ -17,6 +22,8 @@ __all__ = [
     "format_table",
     "gmean",
     "placement_map",
+    "resolve_classifier",
+    "run_scheme",
     "run_schemes",
     "write_result",
 ]

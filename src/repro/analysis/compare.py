@@ -4,6 +4,10 @@ The six bars of Figs 10/19/20/21: S-NUCA LRU, S-NUCA DRRIP, IdealSPD,
 Awasthi, Jigsaw, Whirlpool.  Whirlpool uses the manual classification
 when the app was ported (Table 2) and WhirlTool otherwise — matching how
 the paper evaluates "Whirlpool" across the whole suite.
+
+:func:`run_scheme` evaluates one (workload, scheme) cell and is the unit
+the ``repro.exp`` campaign engine executes; :func:`run_schemes` loops it
+over a scheme list for the classic one-app comparison.
 """
 
 from __future__ import annotations
@@ -21,13 +25,110 @@ from repro.schemes import (
     SNUCAScheme,
 )
 from repro.schemes.base import SchemeResult
+from repro.schemes.classifiers import Classifier, SingleVCClassifier
 from repro.sim.driver import simulate
 from repro.workloads.trace import Workload
 
-__all__ = ["STANDARD_SCHEMES", "run_schemes"]
+__all__ = ["STANDARD_SCHEMES", "run_scheme", "run_schemes", "resolve_classifier"]
 
 #: Scheme display order of the paper's breakdown figures.
 STANDARD_SCHEMES = ["LRU", "DRRIP", "IdealSPD", "Awasthi", "Jigsaw", "Whirlpool"]
+
+
+def _scheme_factories(bypass: bool) -> dict[str, Callable]:
+    return {
+        "LRU": lambda c, v: SNUCAScheme(c, v, "lru"),
+        "DRRIP": lambda c, v: SNUCAScheme(c, v, "drrip"),
+        "IdealSPD": IdealSPDScheme,
+        "Awasthi": AwasthiScheme,
+        "Jigsaw": lambda c, v: JigsawScheme(c, v, bypass=bypass),
+        "Whirlpool": lambda c, v: WhirlpoolScheme(c, v, bypass=bypass),
+    }
+
+
+def resolve_classifier(
+    spec: str,
+    workload: Workload,
+    whirltool_pools: int = 3,
+    train_scale: str = "train",
+    seed: int = 0,
+) -> Classifier:
+    """Build a VC classifier from a variant name.
+
+    Variants: ``"auto"`` (manual pools when the app was ported,
+    WhirlTool otherwise — the paper's Whirlpool evaluation rule),
+    ``"single"`` (one process VC, the driver default),
+    ``"manual"``, ``"whirltool:<k>"``.
+    """
+    if spec == "single":
+        return SingleVCClassifier()
+    if spec == "manual":
+        if not workload.manual_pools:
+            raise ValueError(f"{workload.name} has no manual pools")
+        return ManualPoolClassifier()
+    if spec == "auto":
+        if workload.manual_pools:
+            return ManualPoolClassifier()
+        return train_whirltool(
+            workload.name,
+            n_pools=whirltool_pools,
+            train_scale=train_scale,
+            seed=seed,
+        )
+    if spec.startswith("whirltool:"):
+        return train_whirltool(
+            workload.name,
+            n_pools=int(spec.split(":", 1)[1]),
+            train_scale=train_scale,
+            seed=seed,
+        )
+    raise ValueError(f"unknown classifier variant {spec!r}")
+
+
+def run_scheme(
+    workload: Workload,
+    config: SystemConfig,
+    scheme: str,
+    classifier: Classifier | None = None,
+    whirltool_pools: int = 3,
+    train_scale: str = "train",
+    seed: int = 0,
+    bypass: bool = True,
+    **simulate_kwargs,
+) -> SchemeResult:
+    """Evaluate one workload under one named scheme.
+
+    Args:
+        workload: the program.
+        config: chip configuration.
+        scheme: one of :data:`STANDARD_SCHEMES`.
+        classifier: VC classifier; defaults to the driver's single
+            process VC, except Whirlpool which follows the ``"auto"``
+            rule (manual pools when ported, WhirlTool otherwise).
+        whirltool_pools / train_scale / seed: WhirlTool fallback knobs.
+        bypass: enable bypassing for Jigsaw and Whirlpool.
+        simulate_kwargs: forwarded to :func:`repro.sim.simulate`.
+    """
+    factories = _scheme_factories(bypass)
+    if scheme not in factories:
+        raise ValueError(
+            f"unknown scheme {scheme!r}; known: {', '.join(STANDARD_SCHEMES)}"
+        )
+    if scheme == "Whirlpool" and classifier is None:
+        classifier = resolve_classifier(
+            "auto",
+            workload,
+            whirltool_pools=whirltool_pools,
+            train_scale=train_scale,
+            seed=seed,
+        )
+    return simulate(
+        workload,
+        config,
+        factories[scheme],
+        classifier=classifier,
+        **simulate_kwargs,
+    )
 
 
 def run_schemes(
@@ -56,33 +157,16 @@ def run_schemes(
     """
     if schemes is None:
         schemes = list(STANDARD_SCHEMES)
-    factories: dict[str, Callable] = {
-        "LRU": lambda c, v: SNUCAScheme(c, v, "lru"),
-        "DRRIP": lambda c, v: SNUCAScheme(c, v, "drrip"),
-        "IdealSPD": IdealSPDScheme,
-        "Awasthi": AwasthiScheme,
-        "Jigsaw": lambda c, v: JigsawScheme(c, v, bypass=bypass),
-    }
     out: dict[str, SchemeResult] = {}
     for name in schemes:
-        if name == "Whirlpool":
-            classifier = whirlpool_classifier
-            if classifier is None:
-                if workload.manual_pools:
-                    classifier = ManualPoolClassifier()
-                else:
-                    classifier = train_whirltool(
-                        workload.name,
-                        n_pools=whirltool_pools,
-                        train_scale=train_scale,
-                        seed=seed,
-                    )
-            out[name] = simulate(
-                workload,
-                config,
-                lambda c, v: WhirlpoolScheme(c, v, bypass=bypass),
-                classifier=classifier,
-            )
-        else:
-            out[name] = simulate(workload, config, factories[name])
+        out[name] = run_scheme(
+            workload,
+            config,
+            name,
+            classifier=whirlpool_classifier if name == "Whirlpool" else None,
+            whirltool_pools=whirltool_pools,
+            train_scale=train_scale,
+            seed=seed,
+            bypass=bypass,
+        )
     return out

@@ -8,6 +8,7 @@ Commands
 - ``whirltool`` — train WhirlTool on an app and show the clustering.
 - ``parallel`` — run a Fig-13 parallel app under all four configs.
 - ``config`` — print the Table-3 system configuration.
+- ``campaign`` — submit/resume/inspect experiment grids (``repro.exp``).
 """
 
 from __future__ import annotations
@@ -134,6 +135,54 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.exp import Campaign, ResultStore, campaign_status, run_campaign
+
+    if args.action == "export":
+        store = ResultStore(args.store)
+        if not len(store):
+            print(f"no results in {args.store}", file=sys.stderr)
+            return 2
+        print(store.export_table(metric=args.metric))
+        return 0
+
+    if args.spec is None:
+        print("--spec is required for this action", file=sys.stderr)
+        return 2
+    try:
+        campaign = Campaign.from_json_file(args.spec)
+        campaign.jobs()  # surface grid errors (e.g. axis without values)
+    except (OSError, ValueError, TypeError) as exc:
+        print(f"cannot load spec {args.spec}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.action == "status":
+        status = campaign_status(campaign, args.store)
+        print(
+            f"{status['name']}: {status['done']}/{status['total']} done, "
+            f"{status['pending']} pending"
+        )
+        rows = [
+            [scheme, row["done"], row["pending"]]
+            for scheme, row in sorted(status["per_scheme"].items())
+        ]
+        print(format_table(["scheme", "done", "pending"], rows))
+        return 0
+
+    # "submit" runs the missing jobs; "resume" is the same operation by
+    # construction (the store skips everything already done).
+    report = run_campaign(
+        campaign, args.store, workers=args.workers, strict=False
+    )
+    print(
+        f"{campaign.name}: {report.executed} executed, "
+        f"{report.skipped} skipped, {len(report.failures)} failed"
+    )
+    for key, err in report.failures.items():
+        print(f"  FAILED {key}: {err}", file=sys.stderr)
+    return 1 if report.failures else 0
+
+
 def _cmd_config(args: argparse.Namespace) -> int:
     for cfg in (four_core_config(), sixteen_core_config()):
         print(f"--- {cfg.name} ---")
@@ -192,6 +241,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_par.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("config", help="print the Table-3 configuration")
+
+    p_camp = sub.add_parser(
+        "campaign", help="submit/resume/inspect an experiment grid"
+    )
+    p_camp.add_argument(
+        "action",
+        choices=["submit", "resume", "status", "export"],
+        help="submit or resume a grid, report completion, or export a table",
+    )
+    p_camp.add_argument(
+        "--spec", default=None, help="campaign spec (JSON file)"
+    )
+    p_camp.add_argument(
+        "--store",
+        default="campaign.jsonl",
+        help="result store path (JSON lines, append-only)",
+    )
+    p_camp.add_argument(
+        "--workers", type=int, default=1, help="process-pool size"
+    )
+    p_camp.add_argument(
+        "--metric",
+        default="cycles",
+        help="result field for `export` (e.g. cycles, ipc)",
+    )
     return parser
 
 
@@ -202,13 +276,21 @@ _COMMANDS = {
     "whirltool": _cmd_whirltool,
     "parallel": _cmd_parallel,
     "config": _cmd_config,
+    "campaign": _cmd_campaign,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Output piped into e.g. `head`; exit quietly like other CLIs.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,54 @@
+"""Experiment campaigns: parallel, resumable grids of simulations.
+
+The layering, bottom-up:
+
+- :mod:`repro.exp.job` — hashable grid cells with stable fingerprints.
+- :mod:`repro.exp.store` — append-only, fingerprint-keyed result stores
+  (in-memory and JSON-lines on disk).
+- :mod:`repro.exp.engine` — the generic skip-done/execute/persist loop,
+  serial or process-pooled.
+- :mod:`repro.exp.campaign` — declarative (apps × schemes × configs ×
+  seeds × classifiers) grids that expand into jobs.
+- :mod:`repro.exp.execute` / :mod:`repro.exp.runner` — the worker-side
+  executor and the campaign front door, :func:`run_campaign`.
+
+``repro.sim.sweep``, ``repro.analysis.run_schemes`` and the benchmark
+harness all run on this layer; ``python -m repro campaign`` drives it
+from the command line.  The heavy modules load lazily so that low-level
+users (e.g. the sweep engine) do not pull in the whole scheme zoo.
+"""
+
+from repro.exp.campaign import Campaign
+from repro.exp.engine import RunReport, run_jobs
+from repro.exp.job import Job
+from repro.exp.store import MemoryStore, ResultStore
+
+__all__ = [
+    "Campaign",
+    "Job",
+    "MemoryStore",
+    "RunReport",
+    "ResultStore",
+    "campaign_status",
+    "execute_job",
+    "record_to_result",
+    "result_to_record",
+    "run_campaign",
+    "run_jobs",
+]
+
+_LAZY = {
+    "execute_job": "repro.exp.execute",
+    "record_to_result": "repro.exp.execute",
+    "result_to_record": "repro.exp.execute",
+    "run_campaign": "repro.exp.runner",
+    "campaign_status": "repro.exp.runner",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        return getattr(importlib.import_module(_LAZY[name]), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,117 @@
+"""Generic job engine: run a grid of keyed jobs through a store.
+
+The engine is deliberately agnostic about what a job *is*: anything with
+a ``.key()`` method works, and the execute callable decides what a
+record looks like.  ``repro.exp.runner`` instantiates it with name-based
+:class:`~repro.exp.job.Job` grids and process pools; ``repro.sim.sweep``
+instantiates it serially with closure-based jobs and a
+:class:`~repro.exp.store.MemoryStore`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.exp.store import MemoryStore
+
+__all__ = ["RunReport", "run_jobs"]
+
+
+@dataclass
+class RunReport:
+    """Outcome of one :func:`run_jobs` call.
+
+    Attributes:
+        total: jobs in the grid.
+        executed: jobs actually run this call.
+        skipped: jobs whose key was already in the store.
+        failures: job key -> error string (only with ``strict=False``).
+    """
+
+    total: int = 0
+    executed: int = 0
+    skipped: int = 0
+    failures: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def completed(self) -> int:
+        """Jobs with a stored result after this call."""
+        return self.total - len(self.failures)
+
+
+def run_jobs(
+    jobs: list,
+    execute: Callable,
+    store=None,
+    workers: int = 1,
+    strict: bool = True,
+    progress: Callable[[str, object], None] | None = None,
+) -> RunReport:
+    """Execute every job not already in the store.
+
+    Args:
+        jobs: objects with a stable ``.key()``; duplicates (by key) are
+            executed once.
+        execute: ``job -> record``.  With ``workers > 1`` it must be a
+            module-level (picklable) callable and records must pickle.
+        store: result store (default: a fresh :class:`MemoryStore`).
+        workers: process-pool size; ``<= 1`` runs in-process.
+        strict: re-raise the first job failure (otherwise collect them
+            in the report and keep going).
+        progress: optional ``(job_key, job)`` callback per finished job.
+
+    Returns:
+        A :class:`RunReport`; results live in ``store``.
+    """
+    if store is None:
+        store = MemoryStore()
+    report = RunReport(total=len(jobs))
+    pending: dict[str, object] = {}
+    for job in jobs:
+        key = job.key()
+        if key in store:
+            report.skipped += 1
+        elif key not in pending:
+            pending[key] = job
+
+    def finish(key: str, job, record) -> None:
+        store.add(key, record, job=job)
+        report.executed += 1
+        if progress is not None:
+            progress(key, job)
+
+    if workers <= 1:
+        for key, job in pending.items():
+            try:
+                record = execute(job)
+            except Exception as exc:  # noqa: BLE001 - reported per job
+                if strict:
+                    raise
+                report.failures[key] = repr(exc)
+                continue
+            finish(key, job, record)
+        return report
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {
+            pool.submit(execute, job): (key, job)
+            for key, job in pending.items()
+        }
+        remaining = set(futures)
+        while remaining:
+            done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+            for fut in done:
+                key, job = futures[fut]
+                try:
+                    record = fut.result()
+                except Exception as exc:  # noqa: BLE001 - reported per job
+                    if strict:
+                        for f in remaining:
+                            f.cancel()
+                        raise
+                    report.failures[key] = repr(exc)
+                    continue
+                finish(key, job, record)
+    return report

@@ -1,0 +1,82 @@
+"""Hashable experiment jobs.
+
+A :class:`Job` is one cell of an experiment grid: one workload (or mix)
+under one scheme on one configuration.  Jobs are frozen dataclasses of
+primitives only, so they pickle cleanly across process boundaries and
+hash to a stable fingerprint (:meth:`Job.key`) that keys the result
+store — the same idea as ``sim/profiling.py``'s cache fingerprints, one
+layer up.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, fields
+
+__all__ = ["Job"]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One experiment-grid cell.
+
+    Attributes:
+        app: workload name, or a ``"+"``-joined list of names for a
+            multiprogrammed mix (``kind == "mix"``).
+        scheme: scheme name.  Single-app jobs accept the
+            :data:`~repro.analysis.compare.STANDARD_SCHEMES` names; mix
+            jobs accept ``Jigsaw``/``Whirlpool`` with an optional
+            ``-NoBypass`` suffix.
+        config: system-configuration name (``"4core"`` or ``"16core"``).
+        scale: workload input scale (``"ref"`` or ``"train"``).
+        seed: workload RNG seed (single-app jobs).
+        classifier: VC-classifier variant — ``"auto"`` (manual pools when
+            ported, WhirlTool otherwise), ``"single"``, ``"manual"``, or
+            ``"whirltool:<k>"``.
+        axis / value: optional one-parameter configuration override,
+            applied with :func:`repro.sim.sweep.vary_config`.
+        n_intervals / sample_shift: simulation overrides (None = driver
+            defaults).
+        kind: ``"single"`` or ``"mix"``.
+        mix_seeds: per-app workload seeds for mix jobs (defaults to
+            ``seed`` for every app).
+    """
+
+    app: str
+    scheme: str
+    config: str = "4core"
+    scale: str = "ref"
+    seed: int = 0
+    classifier: str = "auto"
+    axis: str | None = None
+    value: float | None = None
+    n_intervals: int | None = None
+    sample_shift: int | None = None
+    kind: str = "single"
+    mix_seeds: tuple[int, ...] | None = None
+
+    def key(self) -> str:
+        """Stable fingerprint of this job (keys the result store)."""
+        payload = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+    def apps(self) -> list[str]:
+        """The job's workload names (one for single-app jobs)."""
+        return self.app.split("+") if self.kind == "mix" else [self.app]
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (tuples become lists)."""
+        d = asdict(self)
+        if d["mix_seeds"] is not None:
+            d["mix_seeds"] = list(d["mix_seeds"])
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Job":
+        """Inverse of :meth:`to_dict`; ignores unknown keys."""
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in d.items() if k in known}
+        if kwargs.get("mix_seeds") is not None:
+            kwargs["mix_seeds"] = tuple(kwargs["mix_seeds"])
+        return cls(**kwargs)

@@ -1,0 +1,73 @@
+"""Campaign runner: expand, skip-done, execute in parallel, persist.
+
+The runner glues the declarative :class:`~repro.exp.campaign.Campaign`
+to the generic engine with the name-based executor.  Because jobs are
+fingerprint-keyed and the store is append-only, submitting the same
+campaign again — after adding grid points, or after a crash — executes
+exactly the jobs whose results are missing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.exp.campaign import Campaign
+from repro.exp.engine import RunReport, run_jobs
+from repro.exp.execute import execute_job
+from repro.exp.store import ResultStore
+
+__all__ = ["run_campaign", "campaign_status"]
+
+
+def run_campaign(
+    campaign: Campaign,
+    store: ResultStore | str | Path,
+    workers: int = 1,
+    strict: bool = True,
+    progress=None,
+) -> RunReport:
+    """Run every missing job of a campaign.
+
+    Args:
+        campaign: the grid.
+        store: result store, or a path to open one at.
+        workers: process-pool size (``<= 1`` runs serially in-process).
+        strict: raise on the first failing job (otherwise collect
+            failures in the report).
+        progress: optional ``(key, job)`` callback per finished job.
+
+    Returns:
+        The engine's :class:`~repro.exp.engine.RunReport`.
+    """
+    if not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    return run_jobs(
+        campaign.jobs(),
+        execute_job,
+        store=store,
+        workers=workers,
+        strict=strict,
+        progress=progress,
+    )
+
+
+def campaign_status(
+    campaign: Campaign, store: ResultStore | str | Path
+) -> dict:
+    """Completion summary: total/done/pending, plus a per-scheme split."""
+    if not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    jobs = campaign.jobs()
+    done = [j for j in jobs if j.key() in store]
+    pending = [j for j in jobs if j.key() not in store]
+    per_scheme: dict[str, dict[str, int]] = {}
+    for job in jobs:
+        row = per_scheme.setdefault(job.scheme, {"done": 0, "pending": 0})
+        row["done" if job.key() in store else "pending"] += 1
+    return {
+        "name": campaign.name,
+        "total": len(jobs),
+        "done": len(done),
+        "pending": len(pending),
+        "per_scheme": per_scheme,
+    }

@@ -1,0 +1,143 @@
+"""Result stores: append-only, fingerprint-keyed experiment records.
+
+Two implementations share one tiny interface (``__contains__``, ``get``,
+``add``, ``keys``):
+
+- :class:`MemoryStore` — a dict, for in-process memoization (the sweep
+  and benchmark harnesses).
+- :class:`ResultStore` — a JSON-lines file, one record per line, flushed
+  on every append.  Appending is crash-safe in the sense that a killed
+  run leaves at most one truncated trailing line, which is skipped on
+  load; rerunning the campaign then re-executes exactly the missing
+  jobs (resumability).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = ["MemoryStore", "ResultStore"]
+
+
+class MemoryStore:
+    """In-process result store (records may be arbitrary objects)."""
+
+    def __init__(self) -> None:
+        self._records: dict[str, object] = {}
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def get(self, key: str, default=None):
+        """The record stored under ``key``, or ``default``."""
+        return self._records.get(key, default)
+
+    def add(self, key: str, record, job=None) -> None:
+        """Store one record (``job`` is accepted for interface parity)."""
+        self._records[key] = record
+
+    def keys(self):
+        """Stored keys."""
+        return self._records.keys()
+
+
+class ResultStore:
+    """Append-only JSON-lines store keyed by job fingerprints.
+
+    Each line is ``{"key": ..., "job": {...}, "result": {...}}``.  The
+    file is the source of truth: the in-memory index is rebuilt from it
+    on construction, so separate processes appending to the same path
+    (e.g. a resumed campaign) converge on the union of their records.
+    Duplicate keys are allowed on disk; the last one wins.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._records: dict[str, dict] = {}
+        self._jobs: dict[str, dict] = {}
+        self._needs_newline = False
+        if self.path.exists():
+            self._replay()
+
+    def _replay(self) -> None:
+        raw = self.path.read_text(encoding="utf-8")
+        # A killed writer can leave a final line without its newline; the
+        # next append must not concatenate onto it.
+        self._needs_newline = bool(raw) and not raw.endswith("\n")
+        for line in raw.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # truncated trailing line from a killed run
+            key = entry.get("key")
+            if key:
+                self._records[key] = entry.get("result")
+                self._jobs[key] = entry.get("job", {})
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def get(self, key: str, default=None):
+        """The result record stored under ``key``, or ``default``."""
+        return self._records.get(key, default)
+
+    def job(self, key: str) -> dict | None:
+        """The job spec recorded alongside ``key``'s result."""
+        return self._jobs.get(key)
+
+    def keys(self):
+        """Stored keys."""
+        return self._records.keys()
+
+    def records(self):
+        """Iterate ``(key, job_dict, result_dict)`` triples."""
+        for key, result in self._records.items():
+            yield key, self._jobs.get(key, {}), result
+
+    def add(self, key: str, record: dict, job=None) -> None:
+        """Append one record and flush it to disk."""
+        job_dict = job.to_dict() if hasattr(job, "to_dict") else (job or {})
+        entry = {"key": key, "job": job_dict, "result": record}
+        line = json.dumps(entry, sort_keys=True)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            if self._needs_newline:
+                fh.write("\n")
+                self._needs_newline = False
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._records[key] = record
+        self._jobs[key] = job_dict
+
+    def export_table(self, metric: str = "cycles") -> str:
+        """A plain-text (app × scheme) table of one result metric."""
+        from repro.analysis.report import format_table
+
+        cells: dict[tuple[str, str], float] = {}
+        for __, job, result in self.records():
+            app = job.get("app", "?")
+            scheme = job.get("scheme", result.get("name", "?"))
+            value = result.get(metric)
+            if value is not None:
+                cells[(app, scheme)] = value
+        # Sorted axes: record order is completion order, which varies
+        # across parallel runs, and the table must not.
+        apps = sorted({app for app, __ in cells})
+        schemes = sorted({scheme for __, scheme in cells})
+        rows = [
+            [app] + [cells.get((app, s), float("nan")) for s in schemes]
+            for app in apps
+        ]
+        return format_table(["app"] + schemes, rows)

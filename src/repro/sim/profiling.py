@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import hashlib
 import os
+import zipfile
+import zlib
 from pathlib import Path
 
 import numpy as np
@@ -21,6 +23,11 @@ from repro.workloads.trace import Trace
 __all__ = ["profile_vcs", "cache_dir", "clear_cache"]
 
 _ENV_CACHE = "REPRO_PROFILE_CACHE"
+
+#: On-disk cache layout version.  Files written before the key existed
+#: use the same layout and load as version 1; any future layout change
+#: bumps this and silently invalidates older files.
+_FORMAT_VERSION = 1
 
 
 def cache_dir() -> Path:
@@ -122,22 +129,33 @@ def _load(
         return None
     try:
         data = np.load(path)
-    except (OSError, ValueError):
+    except (OSError, ValueError, zipfile.BadZipFile):
         return None
-    out: dict[int, list[MissCurve]] = {}
-    vc_ids = data["vc_ids"]
-    for i, vc in enumerate(vc_ids.tolist()):
-        curves = []
-        for t in range(n_intervals):
-            curves.append(
-                MissCurve(
-                    misses=data[f"m_{i}_{t}"],
-                    chunk_bytes=chunk_bytes,
-                    accesses=float(data[f"a_{i}"][t]),
-                    instructions=float(data[f"i_{i}"][t]),
+    # A stale or partially written file (missing arrays, wrong layout
+    # version, truncated index) falls back to re-profiling instead of
+    # crashing the run.
+    try:
+        version = (
+            int(data["format_version"]) if "format_version" in data else 1
+        )
+        if version != _FORMAT_VERSION:
+            return None
+        out: dict[int, list[MissCurve]] = {}
+        vc_ids = data["vc_ids"]
+        for i, vc in enumerate(vc_ids.tolist()):
+            curves = []
+            for t in range(n_intervals):
+                curves.append(
+                    MissCurve(
+                        misses=data[f"m_{i}_{t}"],
+                        chunk_bytes=chunk_bytes,
+                        accesses=float(data[f"a_{i}"][t]),
+                        instructions=float(data[f"i_{i}"][t]),
+                    )
                 )
-            )
-        out[int(vc)] = curves
+            out[int(vc)] = curves
+    except (KeyError, IndexError, ValueError, OSError, zlib.error, zipfile.BadZipFile):
+        return None
     return out
 
 
@@ -145,7 +163,8 @@ def _store(key: str, curves: dict[int, list[MissCurve]]) -> None:
     directory = cache_dir()
     directory.mkdir(parents=True, exist_ok=True)
     payload: dict[str, np.ndarray] = {
-        "vc_ids": np.array(sorted(curves), dtype=np.int64)
+        "format_version": np.array(_FORMAT_VERSION, dtype=np.int64),
+        "vc_ids": np.array(sorted(curves), dtype=np.int64),
     }
     for i, vc in enumerate(sorted(curves)):
         series = curves[vc]
@@ -153,4 +172,12 @@ def _store(key: str, curves: dict[int, list[MissCurve]]) -> None:
         payload[f"i_{i}"] = np.array([c.instructions for c in series])
         for t, c in enumerate(series):
             payload[f"m_{i}_{t}"] = c.misses
-    np.savez_compressed(directory / f"{key}.npz", **payload)
+    # Write-to-temp + atomic rename: parallel campaign workers profiling
+    # the same fingerprint must never expose a half-written file.
+    tmp = directory / f".{key}.{os.getpid()}.tmp.npz"
+    try:
+        np.savez_compressed(tmp, **payload)
+        os.replace(tmp, directory / f"{key}.npz")
+    finally:
+        if tmp.exists():
+            tmp.unlink()

@@ -4,13 +4,22 @@ A downstream user's first question is usually "does the conclusion hold
 if I change X?"  This module sweeps one configuration axis at a time
 (LLC capacity, bank latency, memory latency, mesh dimension, hop
 latency) and re-runs a scheme comparison at each point.
+
+The sweep itself is one instantiation of the :mod:`repro.exp` engine: a
+(point × scheme) grid of keyed jobs run through an in-memory store.
+Because the factories are arbitrary callables the grid runs in-process;
+name-based grids that want a process pool and a persistent store go
+through :func:`repro.exp.run_campaign` instead.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.exp.engine import run_jobs
+from repro.exp.store import MemoryStore
 from repro.nuca.config import SystemConfig
 from repro.nuca.geometry import MeshGeometry
 from repro.curves.latency import LatencyModel
@@ -42,11 +51,20 @@ class SweepResult:
     def relative_series(
         self, scheme: str, baseline: str, metric: str = "cycles"
     ) -> list[float]:
-        """scheme/baseline ratio across the sweep."""
-        return [
-            getattr(r[scheme], metric) / getattr(r[baseline], metric)
-            for r in self.results
-        ]
+        """scheme/baseline ratio across the sweep.
+
+        A zero-valued baseline point yields 1.0 when the scheme is also
+        zero (both idle) and ``inf`` otherwise, rather than raising.
+        """
+        out = []
+        for r in self.results:
+            num = getattr(r[scheme], metric)
+            denom = getattr(r[baseline], metric)
+            if denom == 0:
+                out.append(1.0 if num == 0 else math.inf)
+            else:
+                out.append(num / denom)
+        return out
 
 
 def vary_config(config: SystemConfig, axis: str, value) -> SystemConfig:
@@ -117,18 +135,45 @@ def sweep(
         classifiers: optional scheme name -> classifier.
         simulate_kwargs: forwarded to :func:`repro.sim.simulate`.
     """
-    out = SweepResult(axis=axis, points=list(values))
     classifiers = classifiers or {}
-    for value in values:
-        cfg = vary_config(config, axis, value)
-        point = {}
-        for name, factory in factories.items():
-            point[name] = simulate(
-                workload,
-                cfg,
-                factory,
-                classifier=classifiers.get(name),
-                **simulate_kwargs,
-            )
-        out.results.append(point)
+    # Varying the config up front preserves the historical behaviour of
+    # rejecting an unknown axis even when no schemes are requested.
+    configs = [vary_config(config, axis, value) for value in values]
+    jobs = [
+        _SweepJob(axis=axis, index=i, scheme=name)
+        for i in range(len(configs))
+        for name in factories
+    ]
+
+    def execute(job: _SweepJob) -> SchemeResult:
+        return simulate(
+            workload,
+            configs[job.index],
+            factories[job.scheme],
+            classifier=classifiers.get(job.scheme),
+            **simulate_kwargs,
+        )
+
+    store = MemoryStore()
+    run_jobs(jobs, execute, store=store, workers=1)
+    out = SweepResult(axis=axis, points=list(values))
+    for i in range(len(configs)):
+        out.results.append(
+            {
+                name: store.get(_SweepJob(axis=axis, index=i, scheme=name).key())
+                for name in factories
+            }
+        )
     return out
+
+
+@dataclass(frozen=True)
+class _SweepJob:
+    """One (sweep point, scheme) cell, keyed by position in the grid."""
+
+    axis: str
+    index: int
+    scheme: str
+
+    def key(self) -> str:
+        return f"{self.axis}[{self.index}]:{self.scheme}"

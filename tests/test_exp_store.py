@@ -1,0 +1,163 @@
+"""Unit tests for repro.exp jobs, stores, and the generic engine."""
+
+import json
+
+import pytest
+
+from repro.exp import Job, MemoryStore, ResultStore, run_jobs
+from repro.exp.campaign import Campaign
+
+
+class TestJob:
+    def test_key_is_stable_and_field_sensitive(self):
+        a = Job(app="MIS", scheme="LRU")
+        b = Job(app="MIS", scheme="LRU")
+        c = Job(app="MIS", scheme="DRRIP")
+        assert a.key() == b.key()
+        assert a.key() != c.key()
+
+    def test_roundtrip_through_dict(self):
+        job = Job(
+            app="a+b",
+            scheme="Whirlpool",
+            kind="mix",
+            mix_seeds=(3, 7),
+            axis="bank_latency",
+            value=12.0,
+        )
+        clone = Job.from_dict(json.loads(json.dumps(job.to_dict())))
+        assert clone == job
+        assert clone.key() == job.key()
+
+    def test_from_dict_ignores_unknown_keys(self):
+        job = Job.from_dict({"app": "MIS", "scheme": "LRU", "future_field": 1})
+        assert job.app == "MIS"
+
+    def test_apps_splits_mixes(self):
+        assert Job(app="a+b", scheme="Jigsaw", kind="mix").apps() == ["a", "b"]
+        assert Job(app="a+b", scheme="Jigsaw").apps() == ["a+b"]
+
+
+class TestCampaign:
+    def test_expansion_is_full_product(self):
+        c = Campaign(
+            apps=["x", "y"],
+            schemes=["LRU", "Jigsaw"],
+            configs=["4core", "16core"],
+            seeds=[0, 1],
+            classifiers=["single"],
+        )
+        jobs = c.jobs()
+        assert len(jobs) == 2 * 2 * 2 * 2
+        assert len({j.key() for j in jobs}) == len(jobs)
+
+    def test_axis_crosses_values(self):
+        c = Campaign(
+            apps=["x"], schemes=["LRU"], axis="bank_latency", values=[6, 9, 12]
+        )
+        jobs = c.jobs()
+        assert len(jobs) == 3
+        assert {j.value for j in jobs} == {6, 9, 12}
+        assert all(j.axis == "bank_latency" for j in jobs)
+
+    def test_mix_entries_become_mix_jobs(self):
+        c = Campaign(apps=["a+b"], schemes=["Jigsaw"])
+        assert c.jobs()[0].kind == "mix"
+
+    def test_json_roundtrip(self, tmp_path):
+        c = Campaign(name="demo", apps=["x"], schemes=["LRU"], scale="train")
+        path = tmp_path / "spec.json"
+        c.save(path)
+        assert Campaign.from_json_file(path) == c
+
+
+class TestResultStore:
+    def test_append_and_reload(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        store.add("k1", {"cycles": 1.0}, job=Job(app="x", scheme="LRU"))
+        store.add("k2", {"cycles": 2.0})
+        reloaded = ResultStore(path)
+        assert set(reloaded.keys()) == {"k1", "k2"}
+        assert reloaded.get("k1") == {"cycles": 1.0}
+        assert reloaded.job("k1")["app"] == "x"
+
+    def test_truncated_trailing_line_is_skipped(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        store.add("k1", {"cycles": 1.0})
+        with open(path, "a") as fh:
+            fh.write('{"key": "k2", "result": {"cyc')  # killed mid-append
+        reloaded = ResultStore(path)
+        assert set(reloaded.keys()) == {"k1"}
+
+    def test_last_duplicate_wins(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        store.add("k", {"v": 1})
+        store.add("k", {"v": 2})
+        assert ResultStore(path).get("k") == {"v": 2}
+
+    def test_export_table(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        store.add("k1", {"cycles": 10.0}, job=Job(app="x", scheme="LRU"))
+        store.add("k2", {"cycles": 5.0}, job=Job(app="x", scheme="Jigsaw"))
+        table = store.export_table("cycles")
+        assert "LRU" in table and "Jigsaw" in table and "x" in table
+
+
+class _KeyedJob:
+    def __init__(self, key):
+        self._key = key
+
+    def key(self):
+        return self._key
+
+
+class TestRunJobs:
+    def test_skips_done_and_counts_executed(self):
+        store = MemoryStore()
+        store.add("a", 1)
+        executed = []
+
+        def execute(job):
+            executed.append(job.key())
+            return job.key().upper()
+
+        jobs = [_KeyedJob("a"), _KeyedJob("b"), _KeyedJob("c")]
+        report = run_jobs(jobs, execute, store=store)
+        assert report.total == 3
+        assert report.skipped == 1
+        assert report.executed == 2
+        assert executed == ["b", "c"]
+        assert store.get("b") == "B"
+
+    def test_duplicate_keys_execute_once(self):
+        calls = []
+
+        def execute(job):
+            calls.append(1)
+            return 0
+
+        run_jobs([_KeyedJob("a"), _KeyedJob("a")], execute)
+        assert len(calls) == 1
+
+    def test_strict_raises(self):
+        def execute(job):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            run_jobs([_KeyedJob("a")], execute)
+
+    def test_nonstrict_collects_failures(self):
+        def execute(job):
+            if job.key() == "bad":
+                raise RuntimeError("boom")
+            return 1
+
+        report = run_jobs(
+            [_KeyedJob("bad"), _KeyedJob("ok")], execute, strict=False
+        )
+        assert report.executed == 1
+        assert set(report.failures) == {"bad"}
+        assert report.completed == 1

@@ -1,0 +1,158 @@
+"""Profile-cache correctness: round-trips, stale files, format versions.
+
+The on-disk cache must be invisible: a load must return exactly what a
+cold profiling run computes, and any stale/partial/foreign file must
+fall back to re-profiling rather than crash (a killed campaign worker
+can leave such files behind).
+"""
+
+import os
+import tempfile
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sim import profiling
+from repro.sim.profiling import profile_vcs
+from repro.workloads.trace import Trace
+
+
+@pytest.fixture()
+def cache_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_PROFILE_CACHE", str(tmp_path))
+    return tmp_path
+
+
+def make_trace(lines, regions, instructions):
+    return Trace(
+        lines=np.asarray(lines, dtype=np.int64),
+        regions=np.asarray(regions, dtype=np.int32),
+        instructions=instructions,
+    )
+
+
+def assert_curves_equal(a, b):
+    assert set(a) == set(b)
+    for vc in a:
+        assert len(a[vc]) == len(b[vc])
+        for ca, cb in zip(a[vc], b[vc]):
+            assert np.array_equal(ca.misses, cb.misses)
+            assert ca.accesses == cb.accesses
+            assert ca.instructions == cb.instructions
+            assert ca.chunk_bytes == cb.chunk_bytes
+
+
+@st.composite
+def trace_inputs(draw):
+    n = draw(st.integers(min_value=1, max_value=300))
+    lines = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=255), min_size=n, max_size=n
+        )
+    )
+    regions = draw(
+        st.lists(st.integers(min_value=0, max_value=7), min_size=n, max_size=n)
+    )
+    instructions = draw(st.floats(min_value=1.0, max_value=1e6))
+    mapping = {
+        rid: draw(st.integers(min_value=0, max_value=3))
+        for rid in sorted(set(regions))
+    }
+    n_intervals = draw(st.integers(min_value=1, max_value=3))
+    return lines, regions, instructions, mapping, n_intervals
+
+
+class TestCacheRoundTrip:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(inputs=trace_inputs())
+    def test_store_load_equals_cold_run(self, inputs):
+        lines, regions, instructions, mapping, n_intervals = inputs
+        trace = make_trace(lines, regions, instructions)
+        kwargs = dict(
+            mapping=mapping,
+            chunk_bytes=1024,
+            n_chunks=6,
+            n_intervals=n_intervals,
+        )
+        # Each example gets its own cache dir; hypothesis shrinks across
+        # examples, so a shared fixture directory would alias entries.
+        with tempfile.TemporaryDirectory() as cache:
+            old = os.environ.get("REPRO_PROFILE_CACHE")
+            os.environ["REPRO_PROFILE_CACHE"] = cache
+            try:
+                cold = profile_vcs(trace, use_cache=False, **kwargs)
+                stored = profile_vcs(trace, use_cache=True, **kwargs)
+                loaded = profile_vcs(trace, use_cache=True, **kwargs)
+            finally:
+                if old is None:
+                    del os.environ["REPRO_PROFILE_CACHE"]
+                else:
+                    os.environ["REPRO_PROFILE_CACHE"] = old
+        assert_curves_equal(stored, cold)
+        assert_curves_equal(loaded, cold)
+
+
+def seed_cache(cache_env, n_intervals=2):
+    """Profile once with caching on; returns (trace, kwargs, cold, path)."""
+    rng = np.random.default_rng(7)
+    trace = make_trace(
+        rng.integers(0, 64, size=200), rng.integers(0, 4, size=200), 5000.0
+    )
+    kwargs = dict(
+        mapping={0: 0, 1: 0, 2: 1, 3: 1},
+        chunk_bytes=1024,
+        n_chunks=4,
+        n_intervals=n_intervals,
+    )
+    cold = profile_vcs(trace, use_cache=False, **kwargs)
+    profile_vcs(trace, use_cache=True, **kwargs)
+    files = list(cache_env.glob("*.npz"))
+    assert len(files) == 1
+    return trace, kwargs, cold, files[0]
+
+
+class TestStaleCache:
+    def rewrite(self, path, mutate):
+        data = dict(np.load(path))
+        mutate(data)
+        np.savez_compressed(path, **data)
+
+    def test_missing_interval_arrays_fall_back(self, cache_env):
+        trace, kwargs, cold, path = seed_cache(cache_env)
+        # A stale/partial file missing an m_{i}_{t} array must re-profile,
+        # not raise KeyError.
+        self.rewrite(path, lambda d: d.pop("m_0_1"))
+        assert_curves_equal(profile_vcs(trace, use_cache=True, **kwargs), cold)
+
+    def test_wrong_format_version_falls_back(self, cache_env):
+        trace, kwargs, cold, path = seed_cache(cache_env)
+        self.rewrite(
+            path,
+            lambda d: d.update(format_version=np.array(999, dtype=np.int64)),
+        )
+        assert_curves_equal(profile_vcs(trace, use_cache=True, **kwargs), cold)
+
+    def test_legacy_file_without_version_key_loads(self, cache_env):
+        trace, kwargs, cold, path = seed_cache(cache_env)
+        # Pre-versioning files (the committed cache) share the v1 layout
+        # and must stay valid.
+        self.rewrite(path, lambda d: d.pop("format_version"))
+        mtime = path.stat().st_mtime_ns
+        assert_curves_equal(profile_vcs(trace, use_cache=True, **kwargs), cold)
+        assert path.stat().st_mtime_ns == mtime  # served from cache, not rewritten
+
+    def test_garbage_file_falls_back(self, cache_env):
+        trace, kwargs, cold, path = seed_cache(cache_env)
+        path.write_bytes(b"not an npz file")
+        assert_curves_equal(profile_vcs(trace, use_cache=True, **kwargs), cold)
+
+    def test_store_writes_current_version(self, cache_env):
+        __, __, __, path = seed_cache(cache_env)
+        data = np.load(path)
+        assert int(data["format_version"]) == profiling._FORMAT_VERSION

@@ -1,0 +1,132 @@
+"""Edge-case coverage for sim/sweep.py and sim/multi.py.
+
+Neither module was exercised outside the figure benchmarks; these tests
+pin the corners: single-point sweeps, empty scheme dicts, unknown axes,
+zero-cycle baselines, empty and oversubscribed mixes.
+"""
+
+import math
+
+import pytest
+
+from repro.nuca import four_core_config
+from repro.nuca.energy import EnergyBreakdown
+from repro.schemes import JigsawScheme, SNUCAScheme
+from repro.schemes.base import SchemeResult
+from repro.sim import simulate_mix, sweep, weighted_speedup
+from repro.sim.multi import MixResult
+from repro.sim.sweep import SweepResult, vary_config
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload("MIS", scale="train", seed=0)
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return four_core_config()
+
+
+FACTORIES = {
+    "LRU": lambda c, v: SNUCAScheme(c, v, "lru"),
+    "Jigsaw": JigsawScheme,
+}
+
+
+class TestSweepEdges:
+    def test_single_point_sweep(self, workload, cfg):
+        out = sweep(workload, cfg, "bank_latency", [9.0], FACTORIES)
+        assert out.axis == "bank_latency"
+        assert out.points == [9.0]
+        assert len(out.results) == 1
+        assert set(out.results[0]) == {"LRU", "Jigsaw"}
+        assert len(out.series("LRU")) == 1
+        assert out.relative_series("LRU", "LRU") == [1.0]
+
+    def test_empty_scheme_dict(self, workload, cfg):
+        out = sweep(workload, cfg, "bank_latency", [6.0, 12.0], {})
+        assert out.points == [6.0, 12.0]
+        assert out.results == [{}, {}]
+
+    def test_empty_values(self, workload, cfg):
+        out = sweep(workload, cfg, "bank_latency", [], FACTORIES)
+        assert out.points == []
+        assert out.results == []
+
+    def test_unknown_axis_rejected_even_without_schemes(self, workload, cfg):
+        with pytest.raises(ValueError, match="unknown sweep axis"):
+            sweep(workload, cfg, "warp_factor", [1.0], {})
+
+    def test_matches_direct_simulate(self, workload, cfg):
+        from repro.sim import simulate
+
+        out = sweep(workload, cfg, "mem_latency", [120.0, 240.0], FACTORIES)
+        direct = simulate(
+            workload,
+            vary_config(cfg, "mem_latency", 240.0),
+            FACTORIES["Jigsaw"],
+        )
+        assert out.results[1]["Jigsaw"].cycles == direct.cycles
+
+
+def result_with(cycles_stalls=0.0, name="s"):
+    r = SchemeResult(name=name, base_cpi=0.0)
+    r.stall_cycles = cycles_stalls
+    return r
+
+
+class TestRelativeSeriesGuard:
+    def make(self, num, denom):
+        out = SweepResult(axis="x", points=[0])
+        out.results = [{"a": result_with(num), "b": result_with(denom)}]
+        return out
+
+    def test_normal_ratio(self):
+        assert self.make(10.0, 5.0).relative_series("a", "b") == [2.0]
+
+    def test_zero_baseline_nonzero_scheme_is_inf(self):
+        assert self.make(10.0, 0.0).relative_series("a", "b") == [math.inf]
+
+    def test_zero_over_zero_is_one(self):
+        assert self.make(0.0, 0.0).relative_series("a", "b") == [1.0]
+
+
+class TestMixEdges:
+    def test_empty_mix(self, cfg):
+        result = simulate_mix([], cfg, JigsawScheme, n_intervals=4)
+        assert result.per_app == []
+        assert result.ipcs() == []
+        assert result.energy.total == 0.0
+
+    def test_oversubscribed_mix_rejected(self, cfg, workload):
+        apps = [workload] * (cfg.n_cores + 1)
+        with pytest.raises(ValueError, match="cores"):
+            simulate_mix(apps, cfg, JigsawScheme)
+
+    def test_single_app_mix_runs(self, cfg, workload):
+        result = simulate_mix(
+            [workload], cfg, JigsawScheme, n_intervals=4
+        )
+        assert len(result.per_app) == 1
+        assert result.per_app[0].cycles > 0
+
+    def test_weighted_speedup_guards_zero_alone_ipc(self):
+        mix = MixResult(scheme_name="s", per_app=[result_with(0.0)])
+        # A zero alone-IPC must not divide by zero.
+        assert math.isfinite(weighted_speedup(mix, [1.0]))
+        assert weighted_speedup(mix, [0.0]) >= 0.0
+
+    def test_weighted_speedup_length_mismatch(self):
+        mix = MixResult(scheme_name="s", per_app=[result_with(1.0)])
+        with pytest.raises(ValueError, match="mismatch"):
+            weighted_speedup(mix, [1.0, 2.0])
+
+    def test_mix_energy_totals(self):
+        a = result_with(1.0)
+        a.energy = EnergyBreakdown(network=1.0, bank=2.0, memory=3.0)
+        b = result_with(2.0)
+        b.energy = EnergyBreakdown(network=0.5, bank=0.5, memory=0.5)
+        mix = MixResult(scheme_name="s", per_app=[a, b])
+        assert mix.energy.total == pytest.approx(7.5)
