@@ -1,0 +1,146 @@
+"""Profiling-engine micro-benchmark: vectorized vs Fenwick reference.
+
+Records old-vs-new wall time for the stack-distance engine so the
+speedup stays visible in the bench trajectory, and gates CI: the
+vectorized path must never be slower than the per-access Fenwick
+reference.  Timings are printed rather than persisted — wall-clock
+numbers are machine-dependent and would churn ``benchmarks/results/``.
+"""
+
+import time
+
+import numpy as np
+
+from repro.curves import (
+    StackDistanceProfiler,
+    miss_curve_from_distances,
+    stack_distances,
+    stack_distances_reference,
+)
+from repro.curves.miss_curve import MissCurve
+
+
+def _trace(n, working_set=65536, seed=7):
+    """A dense-reuse LLC line stream with realistic 48-bit addresses."""
+    rng = np.random.default_rng(seed)
+    return (rng.integers(0, working_set, size=n) * 64 + 0x7F0000000000) >> 6
+
+
+def _best_of(fn, repeats=3):
+    best, result = float("inf"), None
+    for __ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _profile_reference(prof, lines, regions, instructions, n_intervals):
+    """The pre-vectorization profiler: per-region re-slicing + Fenwick."""
+    n = len(lines)
+    scale = float(1 << prof.sample_shift)
+    instr_per_interval = instructions / n_intervals
+    bounds = np.linspace(0, n, n_intervals + 1).astype(np.int64)
+    out = {}
+    for rid in np.unique(regions).tolist():
+        idx = np.nonzero(regions == rid)[0]
+        r_lines = lines[idx]
+        keep = prof._sample_mask(r_lines)
+        kept_idx = idx[keep]
+        dist = stack_distances_reference(r_lines[keep])
+        curves = []
+        for t in range(n_intervals):
+            lo, hi = bounds[t], bounds[t + 1]
+            window = (kept_idx >= lo) & (kept_idx < hi)
+            n_acc = int(np.count_nonzero((idx >= lo) & (idx < hi)))
+            curve = miss_curve_from_distances(
+                dist[window],
+                chunk_bytes=prof.chunk_bytes,
+                n_chunks=prof.n_chunks,
+                instructions=instr_per_interval,
+                line_bytes=prof.line_bytes,
+                scale=scale,
+                distance_scale=scale,
+            )
+            if curve.accesses > 0:
+                ratio = n_acc / curve.accesses
+                curve = MissCurve(
+                    misses=curve.misses * ratio,
+                    chunk_bytes=curve.chunk_bytes,
+                    accesses=float(n_acc),
+                    instructions=curve.instructions,
+                )
+            else:
+                curve = MissCurve(
+                    misses=np.full(prof.n_chunks + 1, float(n_acc)),
+                    chunk_bytes=prof.chunk_bytes,
+                    accesses=float(n_acc),
+                    instructions=instr_per_interval,
+                )
+            curves.append(curve)
+        out[int(rid)] = curves
+    return out
+
+
+class TestPerfProfiling:
+    def test_perf_smoke_200k(self):
+        """CI gate: vectorized must beat the reference on 200k accesses."""
+        lines = _trace(200_000)
+        t_vec, got = _best_of(lambda: stack_distances(lines))
+        t_ref, want = _best_of(lambda: stack_distances_reference(lines))
+        assert np.array_equal(got, want)
+        print(
+            f"\n[perf] stack_distances 200k: vectorized {t_vec:.3f}s, "
+            f"reference {t_ref:.3f}s, speedup {t_ref / t_vec:.1f}x"
+        )
+        assert t_vec < t_ref, (
+            f"vectorized engine slower than reference: {t_vec:.3f}s "
+            f">= {t_ref:.3f}s"
+        )
+
+    def test_perf_1m_speedup(self):
+        """Headline number: 1M-access trace, targeting >= 10x.
+
+        The hard assertion is a conservative 5x so shared/slow CI boxes
+        don't flake; the measured speedup (~10x on a dedicated core) is
+        printed for the bench log.
+        """
+        lines = _trace(1_000_000)
+        t_vec, got = _best_of(lambda: stack_distances(lines))
+        # best-of on both sides keeps the comparison symmetric; two
+        # reference repeats bound the suite's wall time (it's ~4 s/run).
+        t_ref, want = _best_of(
+            lambda: stack_distances_reference(lines), repeats=2
+        )
+        assert np.array_equal(got, want)
+        speedup = t_ref / t_vec
+        print(
+            f"\n[perf] stack_distances 1M: vectorized {t_vec:.3f}s, "
+            f"reference {t_ref:.3f}s, speedup {speedup:.1f}x"
+        )
+        assert speedup >= 5.0, f"speedup regressed to {speedup:.1f}x"
+
+    def test_perf_profiler_single_pass(self):
+        """End-to-end profiler: one-pass engine vs per-region Fenwick."""
+        n = 400_000
+        lines = _trace(n)
+        rng = np.random.default_rng(3)
+        regions = rng.integers(0, 8, size=n).astype(np.int32)
+        prof = StackDistanceProfiler(chunk_bytes=64 * 1024, n_chunks=64)
+        t_vec, got = _best_of(
+            lambda: prof.profile(lines, regions, 1e7, n_intervals=8)
+        )
+        t_ref, want = _best_of(
+            lambda: _profile_reference(prof, lines, regions, 1e7, n_intervals=8),
+            repeats=2,
+        )
+        assert sorted(got) == sorted(want)
+        for rid in got:
+            for c_got, c_want in zip(got[rid], want[rid]):
+                assert np.array_equal(c_got.misses, c_want.misses)
+        print(
+            f"\n[perf] profile 400k x 8 regions x 8 intervals: "
+            f"single-pass {t_vec:.3f}s, per-region reference {t_ref:.3f}s, "
+            f"speedup {t_ref / t_vec:.1f}x"
+        )
+        assert t_vec < t_ref

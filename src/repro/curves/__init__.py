@@ -9,8 +9,9 @@ distance metric is defined through combined vs. partitioned miss curves
 Modules
 -------
 - :mod:`repro.curves.fenwick` — Fenwick (binary indexed) tree.
-- :mod:`repro.curves.reuse` — stack-distance (reuse-distance) profiling,
-  exact Mattson via Fenwick tree plus address-sampled approximation.
+- :mod:`repro.curves.reuse` — stack-distance (reuse-distance) profiling:
+  a vectorized batched Mattson engine, the per-access Fenwick reference
+  oracle, and the address-sampled approximation.
 - :mod:`repro.curves.miss_curve` — the :class:`MissCurve` container.
 - :mod:`repro.curves.combine` — Appendix B / Listing 1 combined-curve model.
 - :mod:`repro.curves.partition` — convex-hull capacity partitioning and
@@ -31,6 +32,7 @@ from repro.curves.reuse import (
     StackDistanceProfiler,
     miss_curve_from_distances,
     stack_distances,
+    stack_distances_reference,
 )
 
 __all__ = [
@@ -46,4 +48,5 @@ __all__ = [
     "partition_capacity",
     "partitioned_miss_curve",
     "stack_distances",
+    "stack_distances_reference",
 ]

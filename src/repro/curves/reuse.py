@@ -5,9 +5,27 @@ referenced since the previous access to the same line.  Under fully
 associative LRU, an access hits in a cache of S lines iff its stack
 distance is < S, so the histogram of stack distances *is* the miss-rate
 curve (Mattson et al.).  Jigsaw's hardware GMON monitors approximate this
-curve per VC; here we compute it in software, exactly (Fenwick-tree
-Mattson, O(n log n)) or approximately via address sampling, which is both
-faster and closer to what a sampled hardware monitor sees.
+curve per VC; here we compute it in software, exactly or approximately
+via address sampling, which is both faster and closer to what a sampled
+hardware monitor sees.
+
+Two exact engines are provided:
+
+- :func:`stack_distances` — the production engine.  Mattson's algorithm
+  reduces to offline 2D dominance counting: with ``prev[i]`` the index of
+  the previous access to ``lines[i]`` (or -1), every distinct line in the
+  reuse window of a non-cold access has exactly one first-touch inside
+  the window, so its distance is::
+
+      #{j < i : prev[j] <= prev[i]} - (prev[i] + 1)
+
+  The dominance counts for all accesses are resolved at once by a
+  batched wavelet sweep over position bits (:func:`_dominance_counts`),
+  giving O(n log n) work with NumPy-level constants and no per-access
+  Python loop.
+- :func:`stack_distances_reference` — the original per-access Fenwick
+  sweep, kept as a slow, independently-derived oracle for tests and the
+  perf gate.
 """
 
 from __future__ import annotations
@@ -21,14 +39,15 @@ __all__ = [
     "StackDistanceProfiler",
     "miss_curve_from_distances",
     "stack_distances",
+    "stack_distances_reference",
 ]
 
 #: Stack distance reported for cold (first-touch) accesses.
 COLD = np.iinfo(np.int64).max
 
 
-def stack_distances(lines: np.ndarray) -> np.ndarray:
-    """Exact stack distances for a sequence of line addresses.
+def stack_distances_reference(lines: np.ndarray) -> np.ndarray:
+    """Exact stack distances via a per-access Fenwick sweep (oracle).
 
     Args:
         lines: integer array of cache-line addresses, in access order.
@@ -55,6 +74,207 @@ def stack_distances(lines: np.ndarray) -> np.ndarray:
         add(i, 1)
         last_pos[addr] = i
     return out
+
+
+def _key_order(keys: np.ndarray, cold: np.ndarray, cold_rank: np.ndarray) -> np.ndarray:
+    """Stable argsort of ``keys`` in O(n), for the engine's key layout.
+
+    Exploits the structure of previous-occurrence keys: non-cold keys are
+    distinct, and ties occur only among cold keys, whose relative order is
+    supplied as ``cold_rank`` (rank of each cold element among equal-key
+    cold elements, in position order).
+    """
+    n = len(keys)
+    kk = (keys + 1).astype(np.int64)
+    cnt = np.bincount(kk, minlength=n + 1)
+    starts = np.cumsum(cnt) - cnt
+    slot = starts[kk] + np.where(cold, cold_rank, 0)
+    order = np.empty(n, dtype=np.int64)
+    order[slot] = np.arange(n, dtype=np.int64)
+    return order
+
+
+def _wavelet_level(v, nxt, shift, width, scratch):
+    """One counting/partition level over ``v`` (2D: rows x width).
+
+    For every element, adds the number of earlier same-row elements whose
+    level bit is 0 while its own is 1 (packed into the element's low
+    bits), then stable-partitions each row by the bit into ``nxt``.
+    ``scratch`` provides three preallocated int32 buffers of v.size.
+    """
+    rows, _ = v.shape
+    one, ones_cum, dest = (s[: v.size].reshape(v.shape) for s in scratch)
+    np.bitwise_and(
+        (v >> shift).astype(np.int32, copy=False), np.int32(1), out=one
+    )
+    np.cumsum(one, axis=1, dtype=np.int32, out=ones_cum)
+    col = np.arange(width, dtype=np.int32)
+    # zeros_before = col - ones_cum; contribution = (zeros_before + 1) for
+    # elements with bit 1; destination = zeros_before for bit 0, or
+    # (zeros_total + ones_before) for bit 1.
+    np.subtract(col, ones_cum, out=dest)  # dest holds zeros_before
+    contrib = np.add(dest, 1, out=np.empty_like(dest))
+    np.multiply(contrib, one, out=contrib)
+    vv = v + contrib  # upcasts to v's dtype
+    zeros_total = width - ones_cum[:, -1:]
+    np.subtract(ones_cum, dest, out=ones_cum)
+    np.add(ones_cum, zeros_total - 1, out=ones_cum)
+    np.multiply(ones_cum, one, out=ones_cum)
+    np.add(dest, ones_cum, out=dest)
+    base = (np.arange(rows, dtype=np.int32) * np.int32(width))[:, None]
+    np.add(dest, base, out=dest)
+    nxt.reshape(-1)[dest.ravel()] = vv.ravel()
+
+
+def _dominance_counts(keys: np.ndarray, order: np.ndarray) -> np.ndarray:
+    """``counts[i] = #{j < i : keys[j] <= keys[i]}`` (ties by position).
+
+    ``order`` must be the stable argsort of ``keys``.  The counts are a
+    2D dominance between the position order and the key order, resolved
+    by a wavelet-style sweep over position bits: positions are split into
+    chunks of ``C = 2^logC``; a first pass over chunk-id bits (elements
+    read in key order) counts cross-chunk pairs and, as a side effect,
+    groups elements by chunk; a second, fully rectangular pass over the
+    low position bits counts within-chunk pairs.  Each element carries
+    ``position << 32 | count`` packed in one int64 (an int32 analogue in
+    the second pass), so every level is one cumsum, a few fused
+    arithmetic passes, and one scatter; the final layout is the identity
+    permutation, leaving each element's count at its own position.
+    """
+    n = len(keys)
+    if n < 2:
+        return np.zeros(n, dtype=np.int64)
+    logC = max(1, min(15, (n - 1).bit_length()))
+    C = 1 << logC
+    n_chunks = -(-n // C)
+    m = n_chunks * C
+    if m > n:
+        # Sentinel elements: positions past the end, keys above everything
+        # (appended at the end of the key order).  They keep every chunk
+        # exactly C elements; their counts are sliced off at the end.
+        order = np.concatenate([order, np.arange(n, m, dtype=order.dtype)])
+    scratch = [np.empty(m, dtype=np.int32) for _ in range(3)]
+    packed = order.astype(np.int64) << 32
+    spare = np.empty_like(packed)
+    # Pass 1: chunk-id bits (== position bits above logC), elements in key
+    # order.  Segments are key-prefix classes: every chunk holds exactly C
+    # elements, so all segments are full except the trailing one, which is
+    # handled as a 1-row level of its own width.
+    for b in range((n_chunks - 1).bit_length() - 1, -1, -1):
+        width = C << (b + 1)
+        shift = np.int64(32 + logC + b)
+        rows = m // width
+        mainlen = rows * width
+        if rows:
+            _wavelet_level(
+                packed[:mainlen].reshape(rows, width),
+                spare[:mainlen],
+                shift,
+                width,
+                scratch,
+            )
+        if mainlen < m:
+            _wavelet_level(
+                packed[mainlen:].reshape(1, m - mainlen),
+                spare[mainlen:],
+                shift,
+                m - mainlen,
+                scratch,
+            )
+        packed, spare = spare, packed
+    # Pass 1 grouped elements by chunk (stable in key order); drain its
+    # counts, then re-pack per-chunk local positions into int32 words
+    # (local position << logC | count; both fit in logC <= 15 bits).
+    counts = np.empty(m, dtype=np.int64)
+    counts[packed >> 32] = packed & 0xFFFFFFFF
+    packed32 = (((packed >> 32) & (C - 1)) << logC).astype(np.int32)
+    spare32 = np.empty_like(packed32)
+    # Pass 2: low position bits.  Each chunk's low bits are a permutation
+    # of [0, C), so every level is perfectly balanced and rectangular.
+    for b in range(logC - 1, -1, -1):
+        width = 1 << (b + 1)
+        _wavelet_level(
+            packed32.reshape(-1, width), spare32, logC + b, width, scratch
+        )
+        packed32, spare32 = spare32, packed32
+    counts[:n] += packed32[:n] & np.int32(C - 1)
+    return counts[:n]
+
+
+def _prev_occurrence(lines: np.ndarray, regions: np.ndarray | None = None) -> np.ndarray:
+    """Index of the previous access to the same line (-1 if none).
+
+    With ``regions``, "same line" means same (region, line) pair, so each
+    region's stream is chained independently.
+    """
+    n = len(lines)
+    prev = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return prev
+    lo = int(lines.min())
+    span = int(lines.max()) - lo + 1
+    if regions is None:
+        # An unstable sort of (line * n + position) is a stable sort of
+        # lines, and quicksort beats the stable radix path.
+        if span <= (2**62) // max(n, 1):
+            order = np.argsort((lines - lo) * np.int64(n) + np.arange(n, dtype=np.int64))
+        else:
+            order = np.argsort(lines, kind="stable")
+        sl = lines[order]
+        same = sl[1:] == sl[:-1]
+    else:
+        rspan = int(regions.max()) + 1 if len(regions) else 1
+        if span * rspan <= 2**62:
+            key = (regions.astype(np.int64) * span + (lines - lo)).astype(np.int64)
+            order = np.argsort(key, kind="stable")
+        else:
+            order = np.lexsort((lines, regions))
+        sl = lines[order]
+        sr = regions[order]
+        same = (sl[1:] == sl[:-1]) & (sr[1:] == sr[:-1])
+    prev[order[1:][same]] = order[:-1][same]
+    return prev
+
+
+def _distances_from_prev(prev: np.ndarray, base: np.ndarray | int = 0) -> np.ndarray:
+    """Distances from a previous-occurrence array.
+
+    ``base`` is each access's segment start (0 for a single stream).  A
+    cold access is keyed at ``base - 1`` so that, inside its segment, it
+    sorts below every real ``prev`` index but above everything in earlier
+    segments — the dominance count then telescopes per segment.
+    """
+    n = len(prev)
+    out = np.full(n, COLD, dtype=np.int64)
+    cold = prev < 0
+    if n == 0 or cold.all():
+        return out
+    base = np.asarray(base, dtype=np.int64)
+    keys = np.where(cold, base - 1, prev)
+    # Ties occur only among cold keys of the same segment; their stable
+    # rank is their cold-appearance order within the segment.
+    cold_cum = np.concatenate(([0], np.cumsum(cold)))
+    cold_rank = cold_cum[:-1] - cold_cum[base] if base.ndim else cold_cum[:-1]
+    counts = _dominance_counts(keys, _key_order(keys, cold, cold_rank))
+    hot = ~cold
+    out[hot] = counts[hot] - keys[hot] - 1
+    return out
+
+
+def stack_distances(lines: np.ndarray) -> np.ndarray:
+    """Exact stack distances for a sequence of line addresses.
+
+    Vectorized Mattson engine (see the module docstring); produces
+    bit-identical output to :func:`stack_distances_reference`.
+
+    Args:
+        lines: integer array of cache-line addresses, in access order.
+
+    Returns:
+        int64 array of the same length; cold misses get :data:`COLD`.
+    """
+    lines = np.ascontiguousarray(lines)
+    return _distances_from_prev(_prev_occurrence(lines))
 
 
 def miss_curve_from_distances(
@@ -117,6 +337,12 @@ class StackDistanceProfiler:
     falls in 1/2^k of the hash space are profiled, and counts are scaled
     by 2^k.  This mirrors set-sampled hardware monitors (UMON/GMON) and
     keeps profiling fast on long traces.  ``sample_shift = 0`` is exact.
+
+    :meth:`profile` makes a single vectorized pass over the whole trace:
+    one sample mask, one previous-occurrence computation over composite
+    (region, line) keys, and one dominance-counting sweep produce every
+    region's distances at once; per-region, per-interval curves are then
+    cheap histogram reductions over views of that one distance array.
     """
 
     def __init__(
@@ -175,23 +401,42 @@ class StackDistanceProfiler:
         scale = float(1 << self.sample_shift)
         instr_per_interval = instructions / n_intervals
         bounds = np.linspace(0, n, n_intervals + 1).astype(np.int64)
+        region_ids = np.unique(regions)
+
+        # Unsampled per-(region, interval) access counts, for exact APKI.
+        ridx = np.searchsorted(region_ids, regions)
+        interval_of = np.repeat(np.arange(n_intervals), np.diff(bounds))
+        acc_counts = np.bincount(
+            ridx * n_intervals + interval_of,
+            minlength=len(region_ids) * n_intervals,
+        ).reshape(len(region_ids), n_intervals)
+
+        # One pass for every region: group the sampled accesses by region
+        # (stable, so each segment stays in stream order), chain previous
+        # occurrences over (region, line) keys, and resolve all distances
+        # in a single dominance-counting sweep.
+        keep = self._sample_mask(lines)
+        kept_idx = np.nonzero(keep)[0]
+        gorder = np.argsort(regions[kept_idx], kind="stable")
+        g_src = kept_idx[gorder]
+        g_regions = regions[g_src]
+        prev = _prev_occurrence(np.ascontiguousarray(lines[g_src]), g_regions)
+        seg_starts = np.searchsorted(g_regions, region_ids, side="left")
+        seg_ends = np.searchsorted(g_regions, region_ids, side="right")
+        base = np.repeat(seg_starts, seg_ends - seg_starts)
+        dist = _distances_from_prev(prev, base)
 
         out: dict[int, list[MissCurve]] = {}
-        for rid in np.unique(regions).tolist():
-            sel = regions == rid
-            idx = np.nonzero(sel)[0]
-            r_lines = lines[idx]
-            keep = self._sample_mask(r_lines)
-            kept_idx = idx[keep]
-            dist = stack_distances(r_lines[keep])
+        for r, rid in enumerate(region_ids.tolist()):
+            r_dist = dist[seg_starts[r] : seg_ends[r]]
+            r_src = g_src[seg_starts[r] : seg_ends[r]]  # ascending
             curves: list[MissCurve] = []
             for t in range(n_intervals):
                 lo, hi = bounds[t], bounds[t + 1]
-                window = (kept_idx >= lo) & (kept_idx < hi)
-                # Accesses-in-interval (unsampled) for accurate APKI.
-                n_acc = int(np.count_nonzero((idx >= lo) & (idx < hi)))
+                wlo, whi = np.searchsorted(r_src, [lo, hi], side="left")
+                n_acc = int(acc_counts[r, t])
                 curve = miss_curve_from_distances(
-                    dist[window],
+                    r_dist[wlo:whi],
                     chunk_bytes=self.chunk_bytes,
                     n_chunks=self.n_chunks,
                     instructions=instr_per_interval,

@@ -24,10 +24,12 @@ __all__ = ["profile_vcs", "cache_dir", "clear_cache"]
 
 _ENV_CACHE = "REPRO_PROFILE_CACHE"
 
-#: On-disk cache layout version.  Files written before the key existed
-#: use the same layout and load as version 1; any future layout change
-#: bumps this and silently invalidates older files.
-_FORMAT_VERSION = 1
+#: On-disk cache version.  Version 1 fingerprints hashed only a stride-257
+#: sample of the trace, so short traces with equal length and instruction
+#: count could collide and serve the wrong curves; version 2 hashes the
+#: full arrays.  Loads reject any other version (files without the key
+#: load as version 1), so stale entries are re-profiled, never misread.
+_FORMAT_VERSION = 2
 
 
 def cache_dir() -> Path:
@@ -58,16 +60,21 @@ def _fingerprint(
     n_intervals: int,
     sample_shift: int,
 ) -> str:
-    h = hashlib.sha256()
-    h.update(np.ascontiguousarray(trace.lines[::257]).tobytes())
-    h.update(np.ascontiguousarray(trace.regions[::257]).tobytes())
+    # blake2b over the *full* arrays: sampling the trace (as version 1 did
+    # with lines[::257]) lets distinct traces of equal length collide and
+    # silently serve each other's curves.  Hashing ~16 MB/ms-scale is
+    # negligible next to profiling itself.
+    h = hashlib.blake2b(digest_size=16)
+    h.update(np.ascontiguousarray(trace.lines, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(trace.regions, dtype=np.int32).tobytes())
     h.update(
-        f"{len(trace)}|{trace.instructions}|{chunk_bytes}|{n_chunks}|"
+        f"v{_FORMAT_VERSION}|{len(trace)}|{trace.instructions}|"
+        f"{trace.line_bytes}|{chunk_bytes}|{n_chunks}|"
         f"{n_intervals}|{sample_shift}".encode()
     )
     for rid in sorted(mapping):
         h.update(f"{rid}:{mapping[rid]};".encode())
-    return h.hexdigest()[:32]
+    return h.hexdigest()
 
 
 def profile_vcs(

@@ -71,12 +71,24 @@ class Trace:
         return out
 
     def slice_accesses(self, lo: int, hi: int) -> "Trace":
-        """Sub-trace over access indices [lo, hi); instructions pro-rated."""
+        """Sub-trace over access indices [lo, hi); instructions pro-rated.
+
+        Bounds are clamped to [0, len(self)], so the pro-rated fraction
+        always matches the accesses actually returned.  An empty window
+        (``hi <= lo``) yields an empty trace whose instruction count is
+        clamped to the smallest positive float, so it still satisfies the
+        "instructions must be positive" invariant instead of raising.
+        """
+        lo = min(max(lo, 0), len(self.lines))
+        hi = min(max(hi, lo), len(self.lines))
         frac = (hi - lo) / max(len(self.lines), 1)
+        instructions = self.instructions * frac
+        if instructions <= 0:
+            instructions = np.finfo(np.float64).tiny
         return Trace(
             lines=self.lines[lo:hi],
             regions=self.regions[lo:hi],
-            instructions=self.instructions * frac,
+            instructions=instructions,
             line_bytes=self.line_bytes,
             region_names=self.region_names,
         )
@@ -161,11 +173,20 @@ class TraceBuilder:
 
         If ``alloc`` is given, the region id is the allocation's callpoint
         (so WhirlTool sees the same ids the allocator produced).
+        Re-registering a callpoint under the same name is a no-op, but a
+        callpoint that collides with a differently-named region raises
+        instead of silently corrupting the region->name mapping.
         """
         rid = alloc.callpoint if alloc is not None else self._next_region
         while alloc is None and rid in self._region_names:
             self._next_region += 1
             rid = self._next_region
+        existing = self._region_names.get(rid)
+        if existing is not None and existing != name:
+            raise ValueError(
+                f"region id {rid} already registered as {existing!r}; "
+                f"refusing to rebind it to {name!r} (callpoint collision)"
+            )
         self._region_names[rid] = name
         self._next_region = max(self._next_region, rid + 1)
         return rid

@@ -138,14 +138,15 @@ class TestStaleCache:
         )
         assert_curves_equal(profile_vcs(trace, use_cache=True, **kwargs), cold)
 
-    def test_legacy_file_without_version_key_loads(self, cache_env):
+    def test_legacy_file_without_version_key_is_regenerated(self, cache_env):
         trace, kwargs, cold, path = seed_cache(cache_env)
-        # Pre-versioning files (the committed cache) share the v1 layout
-        # and must stay valid.
+        # Files without a version key load as version 1, whose fingerprints
+        # were computed from a stride-257 sample and can collide.  They
+        # must be re-profiled and rewritten, never served.
         self.rewrite(path, lambda d: d.pop("format_version"))
-        mtime = path.stat().st_mtime_ns
         assert_curves_equal(profile_vcs(trace, use_cache=True, **kwargs), cold)
-        assert path.stat().st_mtime_ns == mtime  # served from cache, not rewritten
+        data = np.load(path)
+        assert int(data["format_version"]) == profiling._FORMAT_VERSION
 
     def test_garbage_file_falls_back(self, cache_env):
         trace, kwargs, cold, path = seed_cache(cache_env)
@@ -156,3 +157,28 @@ class TestStaleCache:
         __, __, __, path = seed_cache(cache_env)
         data = np.load(path)
         assert int(data["format_version"]) == profiling._FORMAT_VERSION
+
+
+class TestFingerprint:
+    def test_short_traces_with_equal_shape_do_not_collide(self, cache_env):
+        # Regression: the v1 fingerprint hashed lines[::257]/regions[::257],
+        # so any two traces shorter than 257 accesses that agreed on their
+        # first access, length, and instruction count shared a cache key —
+        # profile_vcs silently returned the *wrong* cached curves.
+        kwargs = dict(mapping={0: 0}, chunk_bytes=1024, n_chunks=4)
+        a = make_trace([0, 1, 2, 3], [0, 0, 0, 0], 100.0)
+        b = make_trace([0, 5, 9, 13], [0, 0, 0, 0], 100.0)
+        cold_b = profile_vcs(b, use_cache=False, **kwargs)
+        profile_vcs(a, use_cache=True, **kwargs)  # populate cache with a
+        served = profile_vcs(b, use_cache=True, **kwargs)
+        assert_curves_equal(served, cold_b)
+        assert len(list(cache_env.glob("*.npz"))) == 2
+
+    def test_region_relabel_changes_fingerprint(self, cache_env):
+        lines = [0, 1, 2, 3]
+        a = make_trace(lines, [0, 0, 1, 1], 100.0)
+        b = make_trace(lines, [0, 1, 1, 1], 100.0)
+        kwargs = dict(mapping={0: 0, 1: 1}, chunk_bytes=1024, n_chunks=4)
+        cold_b = profile_vcs(b, use_cache=False, **kwargs)
+        profile_vcs(a, use_cache=True, **kwargs)
+        assert_curves_equal(profile_vcs(b, use_cache=True, **kwargs), cold_b)

@@ -9,6 +9,7 @@ from repro.curves import (
     StackDistanceProfiler,
     miss_curve_from_distances,
     stack_distances,
+    stack_distances_reference,
 )
 from repro.curves.reuse import COLD
 
@@ -54,6 +55,101 @@ class TestStackDistances:
         got = stack_distances(np.array(lines, dtype=np.int64))
         want = brute_force_distances(lines)
         assert np.array_equal(got, want)
+
+
+class TestVectorizedEngineVsReference:
+    """The vectorized engine must be bit-identical to the Fenwick oracle."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        st.lists(st.integers(0, 40), min_size=0, max_size=400),
+        st.sampled_from([0, 1, 10**9, 2**40]),
+    )
+    def test_identical_distance_arrays(self, lines, offset):
+        arr = np.array(lines, dtype=np.int64) + offset
+        assert np.array_equal(
+            stack_distances(arr), stack_distances_reference(arr)
+        )
+
+    def test_single_element(self):
+        got = stack_distances(np.array([7]))
+        assert np.array_equal(got, stack_distances_reference(np.array([7])))
+        assert got[0] == COLD
+
+    def test_all_duplicates(self):
+        arr = np.full(257, 3, dtype=np.int64)
+        assert np.array_equal(
+            stack_distances(arr), stack_distances_reference(arr)
+        )
+
+    def test_all_cold(self):
+        arr = np.arange(1000, dtype=np.int64) * 9973
+        got = stack_distances(arr)
+        assert np.array_equal(got, stack_distances_reference(arr))
+        assert np.all(got == COLD)
+
+    def test_larger_than_chunk_boundaries(self):
+        # Crosses the engine's internal chunking (powers of two +/- 1).
+        rng = np.random.default_rng(11)
+        for n in (4095, 4096, 4097, 70000):
+            arr = rng.integers(0, 500, size=n)
+            assert np.array_equal(
+                stack_distances(arr), stack_distances_reference(arr)
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        lines=st.lists(st.integers(0, 31), min_size=1, max_size=300),
+        regions=st.lists(st.integers(0, 4), min_size=1, max_size=300),
+        n_intervals=st.integers(1, 4),
+        sample_shift=st.sampled_from([0, 3]),
+    )
+    def test_profiler_curves_match_reference_engine(
+        self, lines, regions, n_intervals, sample_shift
+    ):
+        """Full MissCurve equality at sample_shift 0 and 3.
+
+        The reference computation mirrors the pre-vectorization profiler:
+        per-region re-slicing with Fenwick distances.
+        """
+        n = min(len(lines), len(regions))
+        # Spread line values so the sampling hash selects a non-trivial
+        # subset.
+        lines = np.array(lines[:n], dtype=np.int64) * 977
+        regions = np.array(regions[:n], dtype=np.int32)
+        prof = StackDistanceProfiler(
+            chunk_bytes=1024, n_chunks=6, sample_shift=sample_shift
+        )
+        got = prof.profile(lines, regions, 1e4, n_intervals=n_intervals)
+        scale = float(1 << sample_shift)
+        bounds = np.linspace(0, n, n_intervals + 1).astype(np.int64)
+        assert sorted(got) == sorted(np.unique(regions).tolist())
+        for rid in np.unique(regions).tolist():
+            idx = np.nonzero(regions == rid)[0]
+            r_lines = lines[idx]
+            keep = prof._sample_mask(r_lines)
+            kept_idx = idx[keep]
+            dist = stack_distances_reference(r_lines[keep])
+            assert len(got[rid]) == n_intervals
+            for t in range(n_intervals):
+                lo, hi = bounds[t], bounds[t + 1]
+                window = (kept_idx >= lo) & (kept_idx < hi)
+                n_acc = int(np.count_nonzero((idx >= lo) & (idx < hi)))
+                want = miss_curve_from_distances(
+                    dist[window],
+                    chunk_bytes=1024,
+                    n_chunks=6,
+                    instructions=1e4 / n_intervals,
+                    scale=scale,
+                    distance_scale=scale,
+                )
+                curve = got[rid][t]
+                assert curve.accesses == float(n_acc)
+                if want.accesses > 0:
+                    expect = want.misses * (n_acc / want.accesses)
+                else:
+                    expect = np.full(7, float(n_acc))
+                assert np.array_equal(curve.misses, expect)
 
 
 class TestMissCurveFromDistances:

@@ -42,6 +42,17 @@ class TestTrace:
         assert len(t) == 2
         assert t.instructions == pytest.approx(2000.0)
 
+    def test_empty_slice_is_valid(self):
+        # Regression: an empty window used to produce instructions == 0,
+        # which Trace.__post_init__ rejects.
+        for lo, hi in ((2, 2), (0, 0), (3, 1)):
+            t = self.make().slice_accesses(lo, hi)
+            assert len(t) == 0
+            assert t.instructions > 0
+
+    def test_empty_slice_apki_is_zero(self):
+        assert self.make().slice_accesses(1, 1).apki == 0.0
+
 
 class TestInterleave:
     def test_proportional(self):
@@ -99,6 +110,31 @@ class TestTraceBuilder:
     def test_distinct_auto_region_ids(self):
         tb = TraceBuilder()
         assert tb.region("a") != tb.region("b")
+
+    def test_callpoint_collision_rejected(self):
+        # Regression: two allocations sharing a callpoint id used to
+        # silently overwrite the first region's name.
+        heap = HeapAllocator()
+        a = heap.malloc(100, callpoint=42)
+        b = heap.malloc(200, callpoint=42)
+        tb = TraceBuilder()
+        tb.region("first", a)
+        with pytest.raises(ValueError, match="callpoint collision"):
+            tb.region("second", b)
+
+    def test_callpoint_reregistration_same_name_ok(self):
+        heap = HeapAllocator()
+        a = heap.malloc(100, callpoint=42)
+        tb = TraceBuilder()
+        assert tb.region("x", a) == tb.region("x", a) == 42
+
+    def test_callpoint_collision_with_auto_id_rejected(self):
+        heap = HeapAllocator()
+        a = heap.malloc(100, callpoint=0)
+        tb = TraceBuilder()
+        tb.region("auto")  # takes id 0
+        with pytest.raises(ValueError, match="callpoint collision"):
+            tb.region("allocated", a)
 
     def test_interleaved_accesses(self):
         tb = TraceBuilder()
