@@ -8,7 +8,8 @@ Commands
 - ``whirltool`` — train WhirlTool on an app and show the clustering.
 - ``parallel`` — run a Fig-13 parallel app under all four configs.
 - ``config`` — print the Table-3 system configuration.
-- ``campaign`` — submit/resume/inspect experiment grids (``repro.exp``).
+- ``campaign`` — submit/resume/inspect experiment grids (``repro.exp``);
+  the ``mixes`` action runs resumable Fig-22-style mix grids.
 """
 
 from __future__ import annotations
@@ -135,8 +136,50 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign_mixes(args: argparse.Namespace) -> int:
+    """Run (or resume) a multiprogrammed-mix grid and print Fig-22 tables."""
+    from repro.exp import MixCampaign, run_campaign, weighted_speedup_table
+
+    if args.spec is not None:
+        try:
+            campaign = MixCampaign.from_json_file(args.spec)
+        except (OSError, ValueError, TypeError) as exc:
+            print(f"cannot load spec {args.spec}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        schemes = args.mix_schemes.split(",")
+        try:
+            campaign = MixCampaign(
+                n_cores=[int(c) for c in args.cores.split(",") if c],
+                n_mixes=args.mixes,
+                schemes=schemes,
+                baseline=args.baseline if args.baseline else schemes[0],
+                scale=args.scale,
+                base_seed=args.base_seed,
+                n_intervals=args.intervals,
+            )
+        except ValueError as exc:
+            print(f"bad mix-campaign arguments: {exc}", file=sys.stderr)
+            return 2
+    # Same submit/resume semantics as plain campaigns: the store skips
+    # every job that already has a result, so re-running after an
+    # interruption executes exactly the missing cells.
+    report = run_campaign(campaign, args.store, workers=args.workers, strict=False)
+    print(
+        f"{campaign.name}: {report.executed} executed, "
+        f"{report.skipped} skipped, {len(report.failures)} failed"
+    )
+    for key, err in report.failures.items():
+        print(f"  FAILED {key}: {err}", file=sys.stderr)
+    print(weighted_speedup_table(campaign, args.store))
+    return 1 if report.failures else 0
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.exp import Campaign, ResultStore, campaign_status, run_campaign
+
+    if args.action == "mixes":
+        return _cmd_campaign_mixes(args)
 
     if args.action == "export":
         store = ResultStore(args.store)
@@ -247,8 +290,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_camp.add_argument(
         "action",
-        choices=["submit", "resume", "status", "export"],
-        help="submit or resume a grid, report completion, or export a table",
+        choices=["submit", "resume", "status", "export", "mixes"],
+        help=(
+            "submit or resume a grid, report completion, export a table, "
+            "or run a multiprogrammed-mix grid (Fig 22 at any scale)"
+        ),
     )
     p_camp.add_argument(
         "--spec", default=None, help="campaign spec (JSON file)"
@@ -265,6 +311,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--metric",
         default="cycles",
         help="result field for `export` (e.g. cycles, ipc)",
+    )
+    p_camp.add_argument(
+        "--cores",
+        default="4",
+        help="mixes: comma-separated chip sizes (4 and/or 16)",
+    )
+    p_camp.add_argument(
+        "--mixes", type=int, default=8, help="mixes: random mixes per size"
+    )
+    p_camp.add_argument(
+        "--mix-schemes",
+        default="Jigsaw,Whirlpool,S-NUCA/LRU",
+        help="mixes: comma-separated schemes",
+    )
+    p_camp.add_argument(
+        "--baseline",
+        default=None,
+        help="mixes: weighted-speedup baseline (default: first scheme)",
+    )
+    p_camp.add_argument(
+        "--scale", default="train", choices=["train", "ref"],
+        help="mixes: workload input scale",
+    )
+    p_camp.add_argument(
+        "--base-seed", type=int, default=1000, help="mixes: first mix seed"
+    )
+    p_camp.add_argument(
+        "--intervals", type=int, default=8,
+        help="mixes: reconfiguration intervals per run",
     )
     return parser
 

@@ -26,6 +26,8 @@ from repro.curves.latency import LatencyModel, latency_curve
 from repro.curves.miss_curve import MissCurve
 from repro.curves.partition import (
     partition_capacity,
+    partition_cost_curves,
+    partition_cost_curves_reference,
     partitioned_miss_curve,
 )
 from repro.curves.reuse import (
@@ -46,6 +48,8 @@ __all__ = [
     "latency_curve",
     "miss_curve_from_distances",
     "partition_capacity",
+    "partition_cost_curves",
+    "partition_cost_curves_reference",
     "partitioned_miss_curve",
     "stack_distances",
     "stack_distances_reference",

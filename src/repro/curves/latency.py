@@ -58,6 +58,7 @@ def latency_curve(
     avg_hops: HopsFn,
     model: LatencyModel,
     bypassable: bool = False,
+    hops: np.ndarray | None = None,
 ) -> np.ndarray:
     """Data-stall CPI vs. VC size, on the miss curve's grid.
 
@@ -70,6 +71,10 @@ def latency_curve(
             skip the LLC entirely, paying only the memory penalty (this is
             the paper's one-line change that makes the partitioner choose
             bypassing exactly when it wins, Sec 3.2/3.3).
+        hops: precomputed ``avg_hops`` values on the curve's size grid.
+            The reach function is pure, so callers stepping many
+            intervals on one grid (e.g. Jigsaw) can evaluate it once and
+            reuse the vector.
 
     Returns:
         float array, ``stalls[i]`` = data-stall cycles per instruction at
@@ -77,8 +82,9 @@ def latency_curve(
     """
     n = curve.n_chunks
     instr = max(curve.instructions, 1e-12)
-    sizes = curve.sizes_bytes()
-    hops = np.array([avg_hops(s) for s in sizes])
+    if hops is None:
+        sizes = curve.sizes_bytes()
+        hops = np.array([avg_hops(s) for s in sizes])
     access_lat = model.bank_latency + 2.0 * model.hop_latency * hops
     stalls = (curve.accesses * access_lat + curve.misses * model.miss_penalty) / instr
     if bypassable:

@@ -122,11 +122,12 @@ class MissCurve:
         The hull is the best achievable misses-vs-size tradeoff when the
         curve's own capacity may be internally partitioned (Talus); it is
         what the capacity partitioner and WhirlTool's distance metric
-        consume.  Computed with a linear-time monotone-chain scan and
-        cached.
+        consume.  Computed with a linear-time monotone-chain scan (the
+        run-skipping :func:`_lower_convex_hull_fast` variant, bit-identical
+        to :func:`_lower_convex_hull`) and cached.
         """
         if self._hull_cache is None:
-            self._hull_cache = _lower_convex_hull(self.misses)
+            self._hull_cache = _lower_convex_hull_fast(self.misses)
         return self._hull_cache
 
     def hull_curve(self) -> "MissCurve":
@@ -217,3 +218,105 @@ def _lower_convex_hull(values: np.ndarray) -> np.ndarray:
     xs = np.asarray(stack, dtype=np.float64)
     ys = values[stack].astype(np.float64)
     return np.interp(np.arange(n, dtype=np.float64), xs, ys)
+
+
+def _lower_convex_hull_fast(values: np.ndarray) -> np.ndarray:
+    """Fast lower convex hull, bit-identical to :func:`_lower_convex_hull`.
+
+    Runs the same monotone-chain scan with two exact accelerations:
+
+    - All pop tests for *consecutive* stack tops — the test applied when
+      the chain has not popped recently, i.e. almost always on smooth
+      curves — are precomputed in one vectorized pass (``(v[j]-v[j-1])*2
+      >= (v[j+1]-v[j-1])``, the chord test with ``i0=j-1, i1=j, i=j+1``;
+      ``*2``/``*1`` are exact in IEEE so the values match the scalar
+      test).  Runs with no pop are bulk-appended at C speed and the
+      python loop only touches the stop points.
+    - The scalar fallback around stops works on a plain python list
+      (identical IEEE doubles, much cheaper indexing than numpy scalars).
+
+    Every chord test evaluated is the same float64 expression on the same
+    operands in the same order as the reference scan, so the vertex stack
+    — and the interpolated hull — are bit-identical (pinned by the
+    Hypothesis property tests).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    n = len(values)
+    if n <= 2:
+        return values.copy()
+    v = values.tolist()
+    # stop_tops[j]: incoming j+1 pops top j when the pair (j-1, j) is on
+    # top of the stack.  Everywhere else the chain cruises.
+    stop_tops = (
+        np.nonzero((values[1:-1] - values[:-2]) * 2.0 >= values[2:] - values[:-2])[0]
+        + 1
+    ).tolist()
+    n_stops = len(stop_tops)
+    s = 0
+    stack = [0]
+    # Length of the suffix of `stack` known to hold consecutive indices
+    # (an understatement is fine; it only skips the vectorized paths).
+    run_len = 1
+    i = 1
+    while i < n:
+        if run_len >= 2 and stack[-1] == i - 1:
+            # Cruise: top pair is consecutive, so the precomputed tests
+            # apply.  Bulk-push through the pop-free run (empty when the
+            # very next point is a stop — fall through to the scalar
+            # chain, which performs the identical test and pops).
+            while s < n_stops and stop_tops[s] < i - 1:
+                s += 1
+            run_end = stop_tops[s] - 1 if s < n_stops else n - 1
+            if run_end >= i:
+                stack.extend(range(i, run_end + 1))
+                run_len += run_end - i + 1
+                i = run_end + 1
+                continue
+        vi = v[i]
+        while len(stack) >= 2:
+            if run_len >= 32:
+                # Pop cascade over a consecutive suffix: every test pairs
+                # (q-1, q), so all of them vectorize (``* 1`` on the rhs
+                # is exact).  Pop the run of top-down successes; the run
+                # bottom and deeper vertices stay on the scalar path.
+                top = stack[-1]
+                m = run_len - 1
+                q = np.arange(top - m + 1, top + 1)
+                flags = (values[q] - values[q - 1]) * (i - (q - 1)) >= (
+                    values[i] - values[q - 1]
+                )
+                rev = flags[::-1]
+                n_pop = m if rev.all() else int(rev.argmin())
+                if n_pop:
+                    del stack[-n_pop:]
+                    run_len -= n_pop
+                if n_pop < m:
+                    break
+                continue
+            i1 = stack[-1]
+            i0 = stack[-2]
+            if (v[i1] - v[i0]) * (i - i0) >= (vi - v[i0]) * (i1 - i0):
+                stack.pop()
+                run_len = max(run_len - 1, 1)
+            else:
+                break
+        stack.append(i)
+        run_len = run_len + 1 if stack[-2] == i - 1 else 1
+        i += 1
+    if len(stack) == n:
+        return values.copy()
+    xs = np.asarray(stack, dtype=np.float64)
+    return np.interp(np.arange(n, dtype=np.float64), xs, values[stack])
+
+
+def prime_hull_caches(curves) -> None:
+    """Pre-fill :meth:`MissCurve.convex_hull` caches for ``curves``.
+
+    The batched engines call this once up front so every later
+    ``hull_curve()`` — in scheme decisions and in accounting — is a cache
+    hit.  Curves whose hull is already cached are skipped; cached values
+    are bit-identical to the lazily computed ones.
+    """
+    for curve in curves:
+        if curve._hull_cache is None:
+            curve._hull_cache = _lower_convex_hull_fast(curve.misses)

@@ -8,6 +8,18 @@ cost-vs-size curves, hand out capacity chunks in order of marginal gain.
 
 On convex curves the greedy is optimal; we always take convex hulls first,
 which the paper justifies via Talus-style intra-VC partitioning.
+
+Two interchangeable engines implement the greedy:
+
+- :func:`partition_cost_curves` — the vectorized allocator: batched
+  convex hulls, then one global sort of every consumer's marginal-gain
+  segments (each hull's gains are non-increasing, so a k-way merge of
+  the per-consumer streams *is* a global descending sort) and a single
+  ``bincount`` to turn the selected gains into sizes.
+- :func:`partition_cost_curves_reference` — the original chunk-at-a-time
+  ``heapq`` greedy, retained as the oracle: the property tests pin the
+  vectorized engine bit-identical to it, and the perf-smoke benchmark
+  gates CI on the speedup.
 """
 
 from __future__ import annotations
@@ -16,31 +28,22 @@ import heapq
 
 import numpy as np
 
-from repro.curves.miss_curve import MissCurve, _lower_convex_hull
+from repro.curves.miss_curve import (
+    MissCurve,
+    _lower_convex_hull,
+    _lower_convex_hull_fast,
+)
 
 __all__ = [
     "partition_capacity",
     "partition_cost_curves",
+    "partition_cost_curves_reference",
     "partitioned_miss_curve",
 ]
 
 
-def partition_cost_curves(
-    cost_curves: list[np.ndarray], total_chunks: int
-) -> tuple[list[int], float]:
-    """Split ``total_chunks`` among consumers to minimize total cost.
-
-    Args:
-        cost_curves: one cost-vs-size array per consumer (index = chunks,
-            value = cost at that size).  Each is convex-hulled internally.
-        total_chunks: capacity to distribute.
-
-    Returns:
-        ``(sizes, total_cost)`` — chunks given to each consumer (summing to
-        at most ``total_chunks``; capacity beyond every curve's saturation
-        point is left unallocated) and the resulting total cost.
-    """
-    hulls = [_lower_convex_hull(np.asarray(c, dtype=np.float64)) for c in cost_curves]
+def _merge_gains_heapq(hulls: list[np.ndarray], total_chunks: int) -> list[int]:
+    """Chunk-at-a-time greedy over per-consumer hulls (the oracle merge)."""
     sizes = [0] * len(hulls)
     # Max-heap of (negative marginal gain, consumer, next size).
     heap: list[tuple[float, int, int]] = []
@@ -59,6 +62,78 @@ def partition_cost_curves(
         if nxt + 1 < len(hull):
             gain = hull[nxt] - hull[nxt + 1]
             heapq.heappush(heap, (-gain, k, nxt + 1))
+    return sizes
+
+
+def partition_cost_curves_reference(
+    cost_curves: list[np.ndarray], total_chunks: int
+) -> tuple[list[int], float]:
+    """The pre-vectorization allocator (per-curve hulls + heapq greedy).
+
+    Kept as the differential-testing oracle for
+    :func:`partition_cost_curves`; same contract, no input validation.
+    """
+    hulls = [_lower_convex_hull(np.asarray(c, dtype=np.float64)) for c in cost_curves]
+    sizes = _merge_gains_heapq(hulls, total_chunks)
+    total_cost = sum(float(h[s]) for h, s in zip(hulls, sizes))
+    return sizes, total_cost
+
+
+def partition_cost_curves(
+    cost_curves: list[np.ndarray], total_chunks: int
+) -> tuple[list[int], float]:
+    """Split ``total_chunks`` among consumers to minimize total cost.
+
+    Args:
+        cost_curves: one cost-vs-size array per consumer (index = chunks,
+            value = cost at that size).  Each is convex-hulled internally.
+            Must be non-empty, and every curve needs at least two points
+            (a single point has no size axis to allocate along).
+        total_chunks: capacity to distribute; must be positive.
+
+    Returns:
+        ``(sizes, total_cost)`` — chunks given to each consumer (summing to
+        at most ``total_chunks``; capacity beyond every curve's saturation
+        point is left unallocated) and the resulting total cost.
+
+    Raises:
+        ValueError: on an empty curve list, non-positive ``total_chunks``,
+            or a curve with fewer than two points.
+    """
+    if not len(cost_curves):
+        raise ValueError("cost_curves must not be empty")
+    if total_chunks <= 0:
+        raise ValueError(f"total_chunks must be positive, got {total_chunks}")
+    arrays = []
+    for k, curve in enumerate(cost_curves):
+        arr = np.asarray(curve, dtype=np.float64)
+        if arr.ndim != 1 or len(arr) < 2:
+            raise ValueError(
+                f"cost curve {k} must be 1-D with at least 2 points, "
+                f"got shape {arr.shape}"
+            )
+        arrays.append(arr)
+    hulls = [_lower_convex_hull_fast(a) for a in arrays]
+    # Marginal gain of each consumer's next chunk.  Convexity makes every
+    # stream non-increasing mathematically, but hull re-interpolation can
+    # break that by an ulp; the running minimum restores it *and* keeps
+    # the global sort exactly equivalent to the chunk-at-a-time heap
+    # greedy: a gain sitting behind a smaller predecessor only reaches
+    # the heap's frontier once the predecessor is taken, i.e. it
+    # effectively inherits the prefix minimum as its priority.
+    gains = [np.minimum.accumulate(h[:-1] - h[1:]) for h in hulls]
+    neg = -np.concatenate(gains)
+    owner = np.repeat(np.arange(len(hulls)), [g.size for g in gains])
+    # Stable sort on descending gain: ties keep concatenation order,
+    # which is exactly the heap's (gain, consumer, size) tie-break —
+    # lower consumer index first, then smaller size.  The greedy stops
+    # at the first non-positive gain, so only the strictly-positive
+    # prefix is allocatable.
+    order = np.argsort(neg, kind="stable")
+    useful = int(np.searchsorted(neg[order], 0.0, side="left"))
+    chosen = order[: min(useful, total_chunks)]
+    counts = np.bincount(owner[chosen], minlength=len(hulls))
+    sizes = [int(c) for c in counts]
     total_cost = sum(float(h[s]) for h, s in zip(hulls, sizes))
     return sizes, total_cost
 
@@ -81,6 +156,9 @@ def partition_capacity(
         raise ValueError("all curves must share chunk_bytes")
     cost = [c.misses / max(c.instructions, 1e-12) for c in curves]
     total_chunks = int(total_bytes // chunk)
+    if total_chunks <= 0:
+        # No whole chunk to hand out: everyone sits at their size-0 cost.
+        return [0] * len(curves), sum(float(c[0]) for c in cost)
     sizes, total_cost = partition_cost_curves(cost, total_chunks)
     return [s * chunk for s in sizes], total_cost
 

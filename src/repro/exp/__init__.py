@@ -9,6 +9,8 @@ The layering, bottom-up:
   serial or process-pooled.
 - :mod:`repro.exp.campaign` — declarative (apps × schemes × configs ×
   seeds × classifiers) grids that expand into jobs.
+- :mod:`repro.exp.mixes` — multiprogrammed-mix grids (chip size × seeded
+  mix × scheme) with a Fig-22 weighted-speedup export.
 - :mod:`repro.exp.execute` / :mod:`repro.exp.runner` — the worker-side
   executor and the campaign front door, :func:`run_campaign`.
 
@@ -27,6 +29,7 @@ __all__ = [
     "Campaign",
     "Job",
     "MemoryStore",
+    "MixCampaign",
     "RunReport",
     "ResultStore",
     "campaign_status",
@@ -35,6 +38,7 @@ __all__ = [
     "result_to_record",
     "run_campaign",
     "run_jobs",
+    "weighted_speedup_table",
 ]
 
 _LAZY = {
@@ -43,6 +47,8 @@ _LAZY = {
     "result_to_record": "repro.exp.execute",
     "run_campaign": "repro.exp.runner",
     "campaign_status": "repro.exp.runner",
+    "MixCampaign": "repro.exp.mixes",
+    "weighted_speedup_table": "repro.exp.mixes",
 }
 
 

@@ -167,8 +167,21 @@ def _execute_single(job: Job) -> dict:
 
 def _mix_factory(scheme: str):
     from repro.core.whirlpool import WhirlpoolScheme
-    from repro.schemes import JigsawScheme
+    from repro.schemes import (
+        AwasthiScheme,
+        IdealSPDScheme,
+        JigsawScheme,
+        SNUCAScheme,
+    )
 
+    if scheme.startswith("S-NUCA"):
+        __, __, repl = scheme.partition("/")
+        replacement = (repl or "lru").lower()
+        return lambda c, v: SNUCAScheme(c, v, replacement)
+    if scheme == "IdealSPD":
+        return IdealSPDScheme
+    if scheme == "Awasthi":
+        return AwasthiScheme
     base, __, suffix = scheme.partition("-")
     bypass = suffix != "NoBypass"
     if base == "Jigsaw":
@@ -203,6 +216,7 @@ def _execute_mix(job: Job) -> dict:
         _mix_factory(job.scheme),
         classifiers=classifiers,
         n_intervals=job.n_intervals if job.n_intervals is not None else 16,
+        sample_shift=job.sample_shift,
     )
     total = sum(r.cycles for r in result.per_app)
     return {

@@ -18,7 +18,9 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
-from repro.curves.miss_curve import MissCurve
+import numpy as np
+
+from repro.curves.miss_curve import MissCurve, prime_hull_caches
 from repro.nuca.config import SystemConfig
 from repro.nuca.energy import EnergyBreakdown
 from repro.nuca.geometry import Placement
@@ -140,6 +142,54 @@ class SchemeResult:
         }
 
 
+def _interp_rows(matrix: np.ndarray, pos: np.ndarray) -> np.ndarray:
+    """Row-wise linear interpolation of ``matrix[t]`` at ``pos[t]``.
+
+    The exact arithmetic of :meth:`MissCurve.misses_at` (and of
+    ``combine._read``), vectorized across rows: truncate, interpolate,
+    clamp past the final column.
+    """
+    n = matrix.shape[1] - 1
+    if n == 0:
+        return matrix[:, -1].copy()
+    over = pos >= n
+    lo = pos.astype(np.int64)
+    np.minimum(lo, n - 1, out=lo)
+    frac = pos - lo
+    rows = np.arange(matrix.shape[0])
+    interior = matrix[rows, lo] * (1 - frac) + matrix[rows, lo + 1] * frac
+    return np.where(over, matrix[:, -1], interior)
+
+
+def _batched_misses_at(
+    series: list[MissCurve], sizes: np.ndarray, use_hull: bool
+) -> np.ndarray:
+    """``misses_at(sizes[t])`` across a curve series, one gather per run.
+
+    Mirrors :meth:`MissCurve.misses_at` (and the ``hull_curve()`` step
+    when ``use_hull``) expression-for-expression so the values are
+    bit-identical to the serial path; ragged grids fall back to the
+    scalar calls.
+    """
+    if not series:
+        return np.empty(0, dtype=np.float64)
+    first = series[0]
+    chunk = first.chunk_bytes
+    n = first.n_chunks
+    if any(c.chunk_bytes != chunk or c.n_chunks != n for c in series):
+        models = [c.hull_curve() if use_hull else c for c in series]
+        return np.array(
+            [m.misses_at(float(s)) for m, s in zip(models, sizes)],
+            dtype=np.float64,
+        )
+    if use_hull:
+        prime_hull_caches(series)
+        matrix = np.stack([c.convex_hull() for c in series])
+    else:
+        matrix = np.stack([c.misses for c in series])
+    return _interp_rows(matrix, sizes / chunk)
+
+
 class Scheme(ABC):
     """Interval-driven cache management scheme."""
 
@@ -172,6 +222,123 @@ class Scheme(ABC):
         """Decide from monitor data, then account the actual interval."""
         allocations = self.decide(decide_curves)
         return self.account(allocations, actual_curves, instructions)
+
+    def step_batch(
+        self,
+        decide_series: dict[int, list[MissCurve]],
+        actual_series: dict[int, list[MissCurve]],
+        instructions: float,
+        n_intervals: int | None = None,
+    ) -> list[IntervalStats]:
+        """Step a whole run of intervals: decide each, account all at once.
+
+        ``decide_series[vc][t]`` / ``actual_series[vc][t]`` are the monitor
+        and accounting curves of interval ``t``.  Decisions stay
+        interval-by-interval, in order — schemes carry state between
+        epochs (bypass hysteresis, Awasthi's bank counts) — but decisions
+        never depend on accounting, so accounting batches over stacked
+        per-VC arrays afterwards.  Equivalent to ``step`` per interval
+        (the differential tests pin exact equality).
+        """
+        if n_intervals is None:
+            n_intervals = max((len(s) for s in actual_series.values()), default=0)
+        if self.hull_accounting:
+            # One batched hull pass for the whole run; every later
+            # hull_curve() call — in decide and in accounting — hits the
+            # cache.
+            prime_hull_caches(
+                c for series in (decide_series, actual_series)
+                for s in series.values() for c in s
+            )
+        allocations = [
+            self.decide({vc: s[t] for vc, s in decide_series.items()})
+            for t in range(n_intervals)
+        ]
+        return self.account_batch(allocations, actual_series, instructions)
+
+    def account_batch(
+        self,
+        allocations: list[dict[int, VCAllocation]],
+        actual_series: dict[int, list[MissCurve]],
+        instructions: float,
+    ) -> list[IntervalStats]:
+        """Account every interval of a run, vectorized across intervals.
+
+        Subclasses that override :meth:`account` without a matching batch
+        implementation automatically fall back to the serial loop, so the
+        batch engine never silently changes their accounting.
+        """
+        if type(self).account is not Scheme.account:
+            return [
+                self.account(
+                    allocations[t],
+                    {vc: s[t] for vc, s in actual_series.items()},
+                    instructions,
+                )
+                for t in range(len(allocations))
+            ]
+        cfg = self.config
+        n_intervals = len(allocations)
+        stats_list = [
+            IntervalStats(instructions=instructions) for __ in range(n_intervals)
+        ]
+        for vc_id, series in actual_series.items():
+            spec = self.vcs[vc_id]
+            mem_hops = cfg.geometry.mem_hops(spec.owner_core)
+            penalty = cfg.latency.mem_latency + 2 * cfg.latency.hop_latency * mem_hops
+            allocs = [
+                alloc_t.get(vc_id)
+                or VCAllocation(size_bytes=0.0, avg_hops=0.0, bypass=False)
+                for alloc_t in allocations
+            ]
+            accesses = np.array([c.accesses for c in series], dtype=np.float64)
+            hops = np.array([a.avg_hops for a in allocs], dtype=np.float64)
+            sizes = np.array([a.size_bytes for a in allocs], dtype=np.float64)
+            raw_misses = _batched_misses_at(series, sizes, self.hull_accounting)
+            misses = np.minimum(raw_misses, accesses)
+            hits = accesses - misses
+            # Same expressions, elementwise, as the serial account().
+            access_lat = (
+                cfg.latency.bank_latency + 2 * cfg.latency.hop_latency * hops
+            )
+            stalls_kept = accesses * access_lat + misses * penalty
+            stalls_bypassed = accesses * penalty
+            e = cfg.energy
+            llc_network = 2.0 * hops * e.hop_nj * accesses
+            llc_bank = e.bank_nj * accesses
+            mem_network_scale = 2.0 * mem_hops * e.hop_nj
+            for t, stats in enumerate(stats_list):
+                alloc = allocs[t]
+                acc = accesses[t]
+                stats.vc_sizes[vc_id] = alloc.size_bytes
+                stats.vc_hops[vc_id] = alloc.avg_hops
+                stats.vc_bypass[vc_id] = alloc.bypass
+                stats.vc_accesses[vc_id] = acc
+                if alloc.bypass:
+                    stats.bypasses += acc
+                    stats.vc_misses[vc_id] = acc
+                    stalls = stalls_bypassed[t]
+                    stats.energy = stats.energy + EnergyBreakdown(
+                        network=mem_network_scale * acc, memory=e.mem_nj * acc
+                    )
+                else:
+                    stats.hits += hits[t]
+                    stats.misses += misses[t]
+                    stats.vc_misses[vc_id] = misses[t]
+                    stalls = stalls_kept[t]
+                    stats.energy = (
+                        stats.energy
+                        + EnergyBreakdown(
+                            network=llc_network[t], bank=llc_bank[t]
+                        )
+                        + EnergyBreakdown(
+                            network=mem_network_scale * misses[t],
+                            memory=e.mem_nj * misses[t],
+                        )
+                    )
+                stats.vc_stalls[vc_id] = stalls
+                stats.stall_cycles += stalls
+        return stats_list
 
     # ------------------------------------------------------------------
     # Default accounting (shared-baseline schemes)

@@ -66,6 +66,18 @@ class JigsawScheme(Scheme):
         # so the runtime only flips a VC to bypassing after the monitors
         # prefer it for two consecutive epochs.
         self._bypass_streak: dict[int, int] = {vc: 0 for vc in self.vcs}
+        # Reach vectors are pure functions of (core, size grid); cache
+        # them so interval stepping evaluates each geometry walk once.
+        self._reach_cache: dict[tuple[int, int, int], np.ndarray] = {}
+
+    def _reach_vector(self, owner_core: int, curve) -> np.ndarray:
+        key = (owner_core, curve.chunk_bytes, curve.n_chunks)
+        hops = self._reach_cache.get(key)
+        if hops is None:
+            reach = self.config.geometry.reach_fn(owner_core)
+            hops = np.array([reach(s) for s in curve.sizes_bytes()])
+            self._reach_cache[key] = hops
+        return hops
 
     #: Consecutive epochs a VC must prefer bypassing before it switches.
     BYPASS_HYSTERESIS = 2
@@ -93,6 +105,7 @@ class JigsawScheme(Scheme):
                     geo.reach_fn(spec.owner_core),
                     model,
                     bypassable=self.bypass and spec.bypassable,
+                    hops=self._reach_vector(spec.owner_core, curve),
                 )
             else:
                 # Miss-curve (UCP-style) partitioning: no network term,

@@ -50,6 +50,8 @@ def simulate_mix(
     classifiers: list[Classifier] | None = None,
     n_intervals: int = 16,
     use_cache: bool = True,
+    sample_shift: int | None = None,
+    engine: str = "batched",
 ) -> MixResult:
     """Run a mix of programs, one per core, under one scheme.
 
@@ -59,7 +61,15 @@ def simulate_mix(
         scheme_factory: ``(config, vcs) -> Scheme``.
         classifiers: per-app VC classifiers (default: single VC each).
         n_intervals: reconfiguration intervals over the mix window.
+        sample_shift: address-sampling override (default: per-workload
+            :func:`default_sample_shift`).
+        engine: ``"batched"`` makes one joint decision per interval and
+            batch-accounts the whole run; ``"serial"`` is the retained
+            interval-by-interval loop.  Results are identical (pinned by
+            the differential tests).
     """
+    if engine not in ("batched", "serial"):
+        raise ValueError(f"unknown engine {engine!r}")
     if len(workloads) > config.n_cores:
         raise ValueError(
             f"{len(workloads)} programs > {config.n_cores} cores"
@@ -92,7 +102,11 @@ def simulate_mix(
             chunk_bytes=config.chunk_bytes,
             n_chunks=config.model_chunks,
             n_intervals=n_intervals,
-            sample_shift=default_sample_shift(workload),
+            sample_shift=(
+                default_sample_shift(workload)
+                if sample_shift is None
+                else sample_shift
+            ),
             use_cache=use_cache,
         )
         app_curves.append(curves)
@@ -103,6 +117,23 @@ def simulate_mix(
         SchemeResult(name=scheme.name, base_cpi=config.base_cpi)
         for __ in workloads
     ]
+    if engine == "serial":
+        interval_stats = _step_serial(scheme, app_curves, n_intervals)
+    else:
+        interval_stats = _step_batched(scheme, app_curves, n_intervals)
+    for stats in interval_stats:
+        # Attribute each joint interval's stalls and energy per app.
+        for app_idx, workload in enumerate(workloads):
+            vc_ids = set(app_vc_ids[app_idx])
+            instr = workload.trace.instructions / n_intervals
+            app_stats = _extract_app(stats, vc_ids, instr)
+            per_app[app_idx].add(app_stats)
+    return MixResult(scheme_name=scheme.name, per_app=per_app)
+
+
+def _step_serial(scheme, app_curves, n_intervals):
+    """The retained interval-by-interval joint loop (differential oracle)."""
+    out = []
     for t in range(n_intervals):
         decide = {}
         actual = {}
@@ -110,16 +141,31 @@ def simulate_mix(
             for vc, series in curves.items():
                 decide[vc] = series[max(t - 1, 0)]
                 actual[vc] = series[t]
-        # One joint decision + accounting step...
+        # One joint decision + accounting step.
         allocations = scheme.decide(decide)
-        stats = scheme.account(allocations, actual, instructions=0.0)
-        # ...then attribute per-app stalls and energy.
-        for app_idx, workload in enumerate(workloads):
-            vc_ids = set(app_vc_ids[app_idx])
-            instr = workload.trace.instructions / n_intervals
-            app_stats = _extract_app(stats, vc_ids, instr)
-            per_app[app_idx].add(app_stats)
-    return MixResult(scheme_name=scheme.name, per_app=per_app)
+        out.append(scheme.account(allocations, actual, instructions=0.0))
+    return out
+
+
+def _step_batched(scheme, app_curves, n_intervals):
+    """Batched joint stepping: decide per interval, account all at once.
+
+    All programs share one scheme instance, so each interval is still a
+    single joint decision — one batched partition call across every
+    program's VCs for Jigsaw/Whirlpool — while the accounting runs as
+    stacked array operations over the whole run.
+    """
+    decide_series: dict[int, list] = {}
+    actual_series: dict[int, list] = {}
+    for curves in app_curves:
+        for vc, series in curves.items():
+            decide_series[vc] = [
+                series[max(t - 1, 0)] for t in range(n_intervals)
+            ]
+            actual_series[vc] = list(series)
+    return scheme.step_batch(
+        decide_series, actual_series, 0.0, n_intervals=n_intervals
+    )
 
 
 def _extract_app(stats, vc_ids, instructions):

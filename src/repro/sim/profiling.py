@@ -63,7 +63,24 @@ def _fingerprint(
     # blake2b over the *full* arrays: sampling the trace (as version 1 did
     # with lines[::257]) lets distinct traces of equal length collide and
     # silently serve each other's curves.  Hashing ~16 MB/ms-scale is
-    # negligible next to profiling itself.
+    # negligible next to profiling itself — but not next to a cache *hit*,
+    # so fingerprints are memoized per trace object (trace arrays are
+    # immutable by convention; a campaign re-evaluating one workload
+    # across schemes and intervals hashes it once).
+    memo_key = (
+        chunk_bytes,
+        n_chunks,
+        n_intervals,
+        sample_shift,
+        tuple(sorted(mapping.items())),
+    )
+    memo = getattr(trace, "_fingerprint_memo", None)
+    if memo is None:
+        memo = {}
+        trace._fingerprint_memo = memo
+    cached = memo.get(memo_key)
+    if cached is not None:
+        return cached
     h = hashlib.blake2b(digest_size=16)
     h.update(np.ascontiguousarray(trace.lines, dtype=np.int64).tobytes())
     h.update(np.ascontiguousarray(trace.regions, dtype=np.int32).tobytes())
@@ -74,7 +91,8 @@ def _fingerprint(
     )
     for rid in sorted(mapping):
         h.update(f"{rid}:{mapping[rid]};".encode())
-    return h.hexdigest()
+    memo[memo_key] = h.hexdigest()
+    return memo[memo_key]
 
 
 def profile_vcs(

@@ -13,16 +13,28 @@ import numpy as np
 from repro.workloads.registry import SPEC_APPS, build_workload
 from repro.workloads.trace import Workload
 
-__all__ = ["make_mix", "make_mixes"]
+__all__ = ["make_mix", "make_mixes", "mix_names", "mix_seeds"]
+
+
+def mix_names(n_cores: int, seed: int) -> list[str]:
+    """The app names of one random mix (the composition behind
+    :func:`make_mix`, without building the workloads)."""
+    rng = np.random.default_rng(seed)
+    return [str(n) for n in rng.choice(SPEC_APPS, size=n_cores, replace=True)]
+
+
+def mix_seeds(n_cores: int, seed: int) -> list[int]:
+    """The per-app workload seeds :func:`make_mix` uses."""
+    return [seed * 31 + i for i in range(n_cores)]
 
 
 def make_mix(n_cores: int, seed: int, scale: str = "ref") -> list[Workload]:
     """One random mix: ``n_cores`` SPEC apps chosen with replacement."""
-    rng = np.random.default_rng(seed)
-    names = rng.choice(SPEC_APPS, size=n_cores, replace=True)
     return [
-        build_workload(str(name), scale=scale, seed=seed * 31 + i)
-        for i, name in enumerate(names)
+        build_workload(name, scale=scale, seed=app_seed)
+        for name, app_seed in zip(
+            mix_names(n_cores, seed), mix_seeds(n_cores, seed)
+        )
     ]
 
 

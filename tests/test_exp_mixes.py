@@ -1,0 +1,181 @@
+"""Mix-campaign engine: grid expansion, resumability, CLI end-to-end."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.exp import MixCampaign, ResultStore, run_campaign, weighted_speedup_table
+
+
+class TestMixCampaignSpec:
+    def test_grid_shape(self):
+        campaign = MixCampaign(
+            n_cores=[4, 16], n_mixes=3, schemes=["Jigsaw", "Whirlpool"]
+        )
+        jobs = campaign.jobs()
+        assert len(jobs) == 2 * 3 * 2
+        assert all(j.kind == "mix" for j in jobs)
+        assert {j.config for j in jobs} == {"4core", "16core"}
+        # 16-core jobs carry 16-app mixes.
+        sixteens = [j for j in jobs if j.config == "16core"]
+        assert all(len(j.apps()) == 16 for j in sixteens)
+        assert all(len(j.mix_seeds) == 16 for j in sixteens)
+
+    def test_deterministic_keys(self):
+        a = MixCampaign(n_mixes=2).jobs()
+        b = MixCampaign(n_mixes=2).jobs()
+        assert [j.key() for j in a] == [j.key() for j in b]
+
+    def test_json_roundtrip(self, tmp_path):
+        campaign = MixCampaign(
+            name="grid", n_cores=[16], n_mixes=5, schemes=["Jigsaw", "IdealSPD"],
+            baseline="IdealSPD", scale="train", base_seed=7,
+        )
+        path = tmp_path / "spec.json"
+        campaign.save(path)
+        loaded = MixCampaign.from_json_file(path)
+        assert loaded == campaign
+        assert [j.key() for j in loaded.jobs()] == [j.key() for j in campaign.jobs()]
+
+    def test_unknown_keys_ignored(self):
+        campaign = MixCampaign.from_dict({"n_mixes": 2, "bogus": 1})
+        assert campaign.n_mixes == 2
+
+    def test_bad_core_count(self):
+        with pytest.raises(ValueError, match="core counts"):
+            MixCampaign(n_cores=[8])
+
+    def test_bad_mix_count(self):
+        with pytest.raises(ValueError, match="n_mixes"):
+            MixCampaign(n_mixes=0)
+
+    def test_baseline_must_be_scheduled(self):
+        with pytest.raises(ValueError, match="baseline"):
+            MixCampaign(schemes=["Whirlpool"], baseline="Jigsaw")
+
+
+@pytest.fixture(scope="module")
+def tiny_campaign():
+    return MixCampaign(
+        n_cores=[4], n_mixes=1, schemes=["Jigsaw", "S-NUCA/LRU"],
+        n_intervals=2, sample_shift=4,
+    )
+
+
+class TestMixCampaignRun:
+    def test_sample_shift_reaches_simulation(self):
+        """Regression: mix jobs must forward sample_shift to simulate_mix
+        — shift-keyed store records used to hold default-shift results."""
+        from repro.exp.execute import execute_job
+
+        def job_for(shift):
+            campaign = MixCampaign(
+                n_cores=[4], n_mixes=1, schemes=["S-NUCA/LRU"],
+                baseline="S-NUCA/LRU", n_intervals=2, sample_shift=shift,
+            )
+            return campaign.jobs()[0]
+
+        exact = execute_job(job_for(0))
+        sampled = execute_job(job_for(5))
+        assert exact["ipcs"] != sampled["ipcs"]
+
+
+    def test_run_and_resume(self, tiny_campaign, tmp_path):
+        store_path = tmp_path / "mixes.jsonl"
+        report = run_campaign(tiny_campaign, store_path, strict=True)
+        assert report.executed == 2
+        assert report.skipped == 0
+        # Resubmitting is a no-op: every job key is already stored.
+        again = run_campaign(tiny_campaign, store_path, strict=True)
+        assert again.executed == 0
+        assert again.skipped == 2
+
+    def test_resume_after_truncated_store(self, tiny_campaign, tmp_path):
+        """A killed writer leaves a half line; the rerun heals the store."""
+        store_path = tmp_path / "mixes.jsonl"
+        run_campaign(tiny_campaign, store_path, strict=True)
+        raw = store_path.read_text()
+        lines = raw.splitlines(keepends=True)
+        store_path.write_text("".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 2])
+        report = run_campaign(tiny_campaign, store_path, strict=True)
+        assert report.executed == 1  # exactly the clobbered job reruns
+        assert report.skipped == 1
+        assert len(ResultStore(store_path)) == 2
+
+    def test_weighted_speedup_table(self, tiny_campaign, tmp_path):
+        store_path = tmp_path / "mixes.jsonl"
+        run_campaign(tiny_campaign, store_path, strict=True)
+        table = weighted_speedup_table(tiny_campaign, store_path)
+        assert "4-core" in table
+        assert "S-NUCA/LRU vs Jigsaw" in table
+        assert "gmean weighted speedup" in table
+        assert "nan" not in table
+
+    def test_table_tolerates_pending_jobs(self, tiny_campaign, tmp_path):
+        table = weighted_speedup_table(tiny_campaign, tmp_path / "empty.jsonl")
+        assert "nan" in table  # pending cells render, not crash
+
+
+class TestMixCampaignCLI:
+    def test_end_to_end_and_resume(self, tmp_path, capsys):
+        store = tmp_path / "cli.jsonl"
+        argv = [
+            "campaign", "mixes", "--mixes", "1",
+            "--mix-schemes", "Jigsaw,S-NUCA/LRU",
+            "--intervals", "2", "--store", str(store),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 executed, 0 skipped" in out
+        assert "S-NUCA/LRU vs Jigsaw" in out
+        # Second invocation resumes: nothing left to execute.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 executed, 2 skipped" in out
+
+    def test_spec_file(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "n_cores": [4], "n_mixes": 1,
+            "schemes": ["Jigsaw", "S-NUCA/LRU"], "n_intervals": 2,
+        }))
+        store = tmp_path / "spec.jsonl"
+        assert main([
+            "campaign", "mixes", "--spec", str(spec), "--store", str(store),
+        ]) == 0
+        assert "gmean weighted speedup" in capsys.readouterr().out
+
+    def test_bad_spec_path(self, tmp_path, capsys):
+        assert main([
+            "campaign", "mixes", "--spec", str(tmp_path / "missing.json"),
+            "--store", str(tmp_path / "s.jsonl"),
+        ]) == 2
+
+    def test_baseline_defaults_to_first_scheme(self, tmp_path, capsys):
+        assert main([
+            "campaign", "mixes", "--mixes", "1", "--intervals", "2",
+            "--mix-schemes", "S-NUCA/LRU,Jigsaw",
+            "--store", str(tmp_path / "s.jsonl"),
+        ]) == 0
+        assert "Jigsaw vs S-NUCA/LRU" in capsys.readouterr().out
+
+    def test_explicit_baseline_flag(self, tmp_path, capsys):
+        assert main([
+            "campaign", "mixes", "--mixes", "1", "--intervals", "2",
+            "--mix-schemes", "S-NUCA/LRU,Jigsaw", "--baseline", "Jigsaw",
+            "--store", str(tmp_path / "s.jsonl"),
+        ]) == 0
+        assert "S-NUCA/LRU vs Jigsaw" in capsys.readouterr().out
+
+    def test_bad_core_count(self, tmp_path, capsys):
+        assert main([
+            "campaign", "mixes", "--cores", "8",
+            "--store", str(tmp_path / "s.jsonl"),
+        ]) == 2
+
+    def test_bad_baseline(self, tmp_path, capsys):
+        assert main([
+            "campaign", "mixes", "--baseline", "IdealSPD",
+            "--store", str(tmp_path / "s.jsonl"),
+        ]) == 2

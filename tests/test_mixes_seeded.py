@@ -1,0 +1,51 @@
+"""Seeded-mix regression: pin the Fig-22 mix compositions.
+
+``make_mix``/``make_mixes`` compositions feed the mix campaigns and the
+Fig-22 benchmarks; a numpy RNG change or an app-registry reorder would
+silently alter every published number.  These tests pin the exact
+compositions (and per-app seeds) for a few (n_cores, seed) pairs.
+"""
+
+from repro.exp import MixCampaign
+from repro.workloads.mixes import make_mix, make_mixes, mix_names, mix_seeds
+
+PINNED = {
+    (4, 1000): ["milc", "soplex", "astar", "libqntm"],
+    (4, 1001): ["sphinx3", "libqntm", "astar", "bzip2"],
+    (4, 42): ["gcc", "omnet", "libqntm", "leslie"],
+    (16, 1000): [
+        "milc", "soplex", "astar", "libqntm", "astar", "soplex", "milc",
+        "milc", "soplex", "soplex", "zeusmp", "mcf", "soplex", "zeusmp",
+        "milc", "omnet",
+    ],
+}
+
+
+class TestSeededCompositions:
+    def test_pinned_names(self):
+        for (n_cores, seed), names in PINNED.items():
+            assert mix_names(n_cores, seed) == names, (n_cores, seed)
+
+    def test_pinned_seeds(self):
+        assert mix_seeds(4, 1000) == [31000, 31001, 31002, 31003]
+        assert mix_seeds(4, 42) == [1302, 1303, 1304, 1305]
+
+    def test_make_mix_matches_names(self):
+        mix = make_mix(2, seed=1000, scale="train")
+        assert [w.name for w in mix] == ["milc", "soplex"]
+
+    def test_make_mixes_sequential_seeds(self):
+        mixes = make_mixes(2, 2, scale="train", base_seed=1000)
+        assert [[w.name for w in m] for m in mixes] == [
+            ["milc", "soplex"],
+            ["sphinx3", "libqntm"],
+        ]
+
+    def test_campaign_uses_make_mix_compositions(self):
+        """MixCampaign jobs carry exactly the make_mix apps and seeds."""
+        campaign = MixCampaign(n_cores=[4], n_mixes=2, base_seed=1000)
+        (app0, seeds0), (app1, seeds1) = campaign.mixes(4)
+        assert app0 == "milc+soplex+astar+libqntm"
+        assert seeds0 == (31000, 31001, 31002, 31003)
+        assert app1 == "sphinx3+libqntm+astar+bzip2"
+        assert seeds1 == (31031, 31032, 31033, 31034)

@@ -62,15 +62,21 @@ class TestPartitionCostCurves:
         )
         assert cost == pytest.approx(best, rel=1e-9)
 
-    def test_zero_capacity(self):
-        sizes, cost = partition_cost_curves([np.array([5.0, 1])], 0)
-        assert sizes == [0]
-        assert cost == 5.0
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError, match="total_chunks"):
+            partition_cost_curves([np.array([5.0, 1])], 0)
 
-    def test_no_consumers(self):
-        sizes, cost = partition_cost_curves([], 5)
-        assert sizes == []
-        assert cost == 0.0
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match="total_chunks"):
+            partition_cost_curves([np.array([5.0, 1])], -3)
+
+    def test_no_consumers_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            partition_cost_curves([], 5)
+
+    def test_single_point_curve_rejected(self):
+        with pytest.raises(ValueError, match="at least 2 points"):
+            partition_cost_curves([np.array([5.0, 1]), np.array([2.0])], 5)
 
 
 class TestPartitionCapacity:
@@ -91,6 +97,14 @@ class TestPartitionCapacity:
 
     def test_empty_list(self):
         assert partition_capacity([], 1024) == ([], 0.0)
+
+    def test_sub_chunk_capacity(self):
+        """Less than one whole chunk: everyone sits at their size-0 cost."""
+        a = curve([10, 2, 0])
+        b = curve([20, 8, 6])
+        sizes, cost = partition_capacity([a, b], total_bytes=512)
+        assert sizes == [0, 0]
+        assert cost == pytest.approx((10 + 20) / 1000.0)
 
     def test_grid_mismatch_rejected(self):
         with pytest.raises(ValueError):

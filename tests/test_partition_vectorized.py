@@ -1,0 +1,129 @@
+"""Property suite for the vectorized partitioner vs. the heapq oracle.
+
+The vectorized engine must be *bit-identical* to
+``partition_cost_curves_reference`` — same sizes, same total cost — on
+every input, including adversarial float patterns (exact ties, ulp-level
+hull-interpolation jitter).  The same holds one layer down for the
+run-skipping convex-hull scan vs. the original monotone chain.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.curves.miss_curve import _lower_convex_hull, _lower_convex_hull_fast
+from repro.curves.partition import (
+    partition_cost_curves,
+    partition_cost_curves_reference,
+)
+
+# Finite floats with plenty of exact collisions (integers shrink well and
+# tie often) plus fractional values that exercise interpolation rounding.
+curve_value = st.one_of(
+    st.integers(0, 8).map(float),
+    st.floats(0, 1000, allow_nan=False, allow_infinity=False),
+)
+cost_curve = st.lists(curve_value, min_size=2, max_size=24).map(np.array)
+curve_set = st.lists(cost_curve, min_size=1, max_size=6)
+
+
+class TestHullEquivalence:
+    @settings(max_examples=300, deadline=None)
+    @given(st.lists(curve_value, min_size=1, max_size=60).map(np.array))
+    def test_fast_hull_bit_identical(self, values):
+        got = _lower_convex_hull_fast(values)
+        want = _lower_convex_hull(values)
+        assert np.array_equal(got, want)
+
+    def test_fast_hull_convex_decay_with_cliffs(self):
+        """The shape the partitioner actually sees (hulled latency curves)."""
+        rng = np.random.default_rng(5)
+        for __ in range(20):
+            gains = np.sort(rng.exponential(1.0, size=200)) + 1e-9
+            vals = np.concatenate([[0.0], np.cumsum(gains)])[::-1].copy()
+            vals[: int(rng.integers(1, 200))] += rng.uniform(1, 10)
+            assert np.array_equal(
+                _lower_convex_hull_fast(vals), _lower_convex_hull(vals)
+            )
+
+
+class TestAllocatorEquality:
+    @settings(max_examples=200, deadline=None)
+    @given(curve_set, st.integers(1, 64))
+    def test_bit_identical_to_reference(self, curves, total):
+        got_sizes, got_cost = partition_cost_curves(
+            [c.copy() for c in curves], total
+        )
+        want_sizes, want_cost = partition_cost_curves_reference(
+            [c.copy() for c in curves], total
+        )
+        assert got_sizes == want_sizes
+        assert got_cost == want_cost  # exact, not approx
+
+    @settings(max_examples=150, deadline=None)
+    @given(curve_set, st.integers(1, 64))
+    def test_sizes_sum_within_budget(self, curves, total):
+        sizes, __ = partition_cost_curves(curves, total)
+        assert len(sizes) == len(curves)
+        assert all(s >= 0 for s in sizes)
+        assert sum(sizes) <= total
+        assert all(s <= len(c) - 1 for s, c in zip(sizes, curves))
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.lists(curve_value, min_size=2, max_size=6).map(np.array),
+            min_size=1,
+            max_size=3,
+        ),
+        st.integers(1, 12),
+    )
+    def test_optimal_vs_bruteforce_dp(self, curves, total):
+        """On tiny inputs, the greedy cost matches the exhaustive optimum
+        over the hulls (greedy is optimal on convex curves)."""
+        __, cost = partition_cost_curves([c.copy() for c in curves], total)
+        hulls = [_lower_convex_hull(np.asarray(c, dtype=np.float64)) for c in curves]
+        best = min(
+            sum(h[s] for h, s in zip(hulls, combo))
+            for combo in itertools.product(
+                *(range(len(h)) for h in hulls)
+            )
+            if sum(combo) <= total
+        )
+        assert cost == pytest.approx(best, rel=1e-9, abs=1e-9)
+
+    @settings(max_examples=100, deadline=None)
+    @given(curve_set, st.integers(1, 40))
+    def test_allocation_monotone_in_capacity(self, curves, total):
+        """More capacity never shrinks any consumer's allocation."""
+        small, __ = partition_cost_curves([c.copy() for c in curves], total)
+        large, __ = partition_cost_curves([c.copy() for c in curves], total + 1)
+        assert all(lg >= sm for sm, lg in zip(small, large))
+
+
+class TestValidationRegressions:
+    """The silent fall-through cases now fail loudly."""
+
+    def test_empty_curve_list(self):
+        with pytest.raises(ValueError, match="must not be empty"):
+            partition_cost_curves([], 4)
+
+    @pytest.mark.parametrize("total", [0, -1, -100])
+    def test_non_positive_capacity(self, total):
+        with pytest.raises(ValueError, match="total_chunks must be positive"):
+            partition_cost_curves([np.array([3.0, 1.0])], total)
+
+    def test_single_point_curve(self):
+        with pytest.raises(ValueError, match="at least 2 points"):
+            partition_cost_curves([np.array([7.0])], 4)
+
+    def test_two_dimensional_curve(self):
+        with pytest.raises(ValueError, match="1-D"):
+            partition_cost_curves([np.zeros((2, 2))], 4)
+
+    def test_error_names_offending_curve(self):
+        with pytest.raises(ValueError, match="cost curve 1"):
+            partition_cost_curves([np.array([3.0, 1.0]), np.array([7.0])], 4)
