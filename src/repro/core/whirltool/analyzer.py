@@ -12,8 +12,23 @@ behaviour use few pools.
 Clustering: plain agglomerative — start with one pool per callpoint,
 repeatedly merge the closest pair (re-estimating the merged pool's
 curves with the combine model), record the merge tree, and cut it at the
-desired pool count.  O(n^2) per merge; fine for the 10s-100s of
-callpoints real applications have.
+desired pool count.
+
+Two interchangeable engines build the merge tree:
+
+- :meth:`WhirlToolAnalyzer.cluster` — the batched engine.  Distances
+  live in a condensed numpy matrix keyed by cluster index; the initial
+  table is one batched evaluation over all pairs × active intervals
+  (through :func:`repro.curves.combine.combine_rate_rows` and
+  :func:`repro.curves.partition.partitioned_rate_rows`, with each
+  cluster's rate rows and hulls computed once and reused across every
+  pair), and each merge computes the merged cluster's row against all
+  survivors in a single batch.
+- :meth:`WhirlToolAnalyzer.cluster_reference` — the original serial
+  loop over :func:`pool_distance`, retained as the oracle.  The batched
+  engine is bit-identical to it — merge order, distances, and tie-breaks
+  (distance, then sorted min-callpoint) — which the property tests pin
+  and which keeps the Fig 17 dendrograms byte-stable.
 """
 
 from __future__ import annotations
@@ -23,9 +38,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.whirltool.profiler import CallpointProfile
-from repro.curves.combine import combine_miss_curves
-from repro.curves.miss_curve import MissCurve
-from repro.curves.partition import partitioned_miss_curve
+from repro.curves.combine import combine_miss_curves, combine_rate_rows
+from repro.curves.miss_curve import MissCurve, _lower_convex_hull_fast
+from repro.curves.partition import partitioned_miss_curve, partitioned_rate_rows
 
 __all__ = ["WhirlToolAnalyzer", "ClusteringResult", "pool_distance"]
 
@@ -49,6 +64,16 @@ def pool_distance(a: list[MissCurve], b: list[MissCurve]) -> float:
     return total
 
 
+def _pool_label(names: dict[int, str], cluster) -> str:
+    """Render a cluster as its '+'-joined member names.
+
+    Sorting the *rendered* names (not the callpoint ids) keeps the label
+    deterministic regardless of set iteration order or the insertion
+    order of the ``names`` dict.
+    """
+    return "+".join(sorted(names.get(cp, str(cp)) for cp in cluster))
+
+
 @dataclass
 class ClusteringResult:
     """Hierarchical clustering of callpoints (Fig 17's dendrogram).
@@ -70,15 +95,34 @@ class ClusteringResult:
         Cutting the merge tree: replay merges until ``n_pools`` clusters
         remain.  Requesting more pools than callpoints yields one pool
         per callpoint.
+
+        The replay is index-based: live clusters are slots in a
+        union-find-style table looked up by membership, so each merge
+        retires exactly one slot per operand — set-equal duplicates
+        (e.g. repeated leaf callpoints) survive — and the whole replay
+        is linear in total membership instead of quadratic.
         """
         if n_pools < 1:
             raise ValueError(f"n_pools must be >= 1, got {n_pools}")
-        clusters: list[set[int]] = [{cp} for cp in self.callpoints]
+        slots: list[set[int] | None] = [{cp} for cp in self.callpoints]
+        by_members: dict[frozenset, list[int]] = {}
+        for idx, members in enumerate(slots):
+            by_members.setdefault(frozenset(members), []).append(idx)
+        live = len(slots)
         for a, b, __ in self.merges:
-            if len(clusters) <= n_pools:
+            if live <= n_pools:
                 break
-            clusters = [c for c in clusters if c != set(a) and c != set(b)]
-            clusters.append(set(a) | set(b))
+            retired = 0
+            for operand in (frozenset(a), frozenset(b)):
+                open_slots = by_members.get(operand)
+                if open_slots:
+                    slots[open_slots.pop(0)] = None
+                    retired += 1
+            merged = set(a) | set(b)
+            slots.append(merged)
+            by_members.setdefault(frozenset(merged), []).append(len(slots) - 1)
+            live += 1 - retired
+        clusters = [c for c in slots if c is not None]
         out: dict[int, int] = {}
         for idx, cluster in enumerate(sorted(clusters, key=min)):
             for cp in cluster:
@@ -87,20 +131,174 @@ class ClusteringResult:
 
     def dendrogram_text(self) -> str:
         """ASCII rendering of the merge tree (Fig 17 stand-in)."""
-        lines = []
-        for a, b, dist in self.merges:
-            name = lambda cluster: "+".join(  # noqa: E731
-                sorted(self.names.get(cp, str(cp)) for cp in cluster)
-            )
-            lines.append(f"{dist:10.4g}  {name(a)}  <->  {name(b)}")
-        return "\n".join(lines)
+        return "\n".join(
+            f"{dist:10.4g}  {_pool_label(self.names, a)}"
+            f"  <->  {_pool_label(self.names, b)}"
+            for a, b, dist in self.merges
+        )
 
 
 class WhirlToolAnalyzer:
     """Agglomerative clustering of callpoints into pools."""
 
     def cluster(self, profile: CallpointProfile) -> ClusteringResult:
-        """Build the full merge tree for one application's profile."""
+        """Build the full merge tree for one application's profile.
+
+        Batched engine: one vectorized evaluation fills the initial
+        pair-distance matrix, and each merge re-evaluates a single
+        batched row.  Bit-identical to :meth:`cluster_reference` (which
+        also serves as the fallback for ragged or degenerate profiles).
+        """
+        order = sorted(profile.curves)
+        n_leaves = len(order)
+        series = [profile.curves[cp] for cp in order]
+        if n_leaves <= 1:
+            return self.cluster_reference(profile)
+        n_intervals = len(series[0])
+        flat = [c for s in series for c in s]
+        if (
+            n_intervals == 0
+            or any(len(s) != n_intervals for s in series)
+            or any(
+                c.chunk_bytes != flat[0].chunk_bytes
+                or c.n_chunks != flat[0].n_chunks
+                for c in flat
+            )
+        ):
+            return self.cluster_reference(profile)
+
+        width = flat[0].n_chunks + 1
+        total_clusters = 2 * n_leaves - 1
+        # Per-cluster state, indexed by cluster id; merged clusters are
+        # appended after the n_leaves leaves.  Miss rows are transient:
+        # only the derived rates (and their hulls) feed the distance
+        # kernels, so raw miss counts never persist per cluster.
+        instr = np.empty((total_clusters, n_intervals))
+        accesses = np.empty((total_clusters, n_intervals))
+        rates = np.empty((total_clusters, n_intervals, width))
+        hulls = np.empty((total_clusters, n_intervals, width))
+        members: list[frozenset] = [frozenset({cp}) for cp in order]
+        mins = np.empty(total_clusters, dtype=np.int64)
+        births = np.zeros(total_clusters, dtype=np.int64)
+        leaf_misses = np.empty((n_intervals, width))
+        for c, (cp, s) in enumerate(zip(order, series)):
+            mins[c] = cp
+            for t, curve in enumerate(s):
+                leaf_misses[t] = curve.misses
+                instr[c, t] = curve.instructions
+                accesses[c, t] = curve.accesses
+            rates[c] = leaf_misses / np.maximum(instr[c], 1e-12)[:, None]
+            for t in range(n_intervals):
+                hulls[c, t] = _lower_convex_hull_fast(rates[c, t])
+
+        def pair_distances(ia: np.ndarray, ib: np.ndarray) -> np.ndarray:
+            """Batched ``pool_distance`` over cluster-index pairs.
+
+            Inactive (pair, interval) lanes are compacted away up front;
+            active lanes run through the combine and partitioned-split
+            kernels in one batch, and per-pair totals accumulate in
+            interval order so the float sums match the serial loop.
+            """
+            total = np.zeros(len(ia))
+            active = (accesses[ia] > 0) & (accesses[ib] > 0)
+            lane_p, lane_t = np.nonzero(active)
+            if len(lane_p) == 0:
+                return total
+            ra = rates[ia[lane_p], lane_t]
+            rb = rates[ib[lane_p], lane_t]
+            instr_c = np.maximum(
+                instr[ia[lane_p], lane_t], instr[ib[lane_p], lane_t]
+            )
+            combined = combine_rate_rows(ra, rb) * instr_c[:, None]
+            np.minimum.accumulate(combined, axis=1, out=combined)
+            np.clip(combined, 0.0, None, out=combined)
+            split = (
+                partitioned_rate_rows(
+                    hulls[ia[lane_p], lane_t], hulls[ib[lane_p], lane_t]
+                )
+                * instr_c[:, None]
+            )
+            np.minimum.accumulate(split, axis=1, out=split)
+            np.clip(split, 0.0, None, out=split)
+            area = np.sum(combined - split, axis=1)
+            terms = np.zeros((len(ia), n_intervals))
+            terms[lane_p, lane_t] = np.maximum(area, 0.0) / np.maximum(
+                instr_c, 1e-12
+            )
+            for t in range(n_intervals):
+                total = total + terms[:, t]
+            return total
+
+        # Condensed distance matrix over cluster indices (inf = no pair).
+        dist = np.full((total_clusters, total_clusters), np.inf)
+        ii, jj = np.triu_indices(n_leaves, k=1)
+        init = pair_distances(ii, jj)
+        dist[ii, jj] = init
+        dist[jj, ii] = init
+        alive = np.zeros(total_clusters, dtype=bool)
+        alive[:n_leaves] = True
+
+        result = ClusteringResult(
+            callpoints=profile.callpoints, names=dict(profile.names)
+        )
+        for step in range(1, n_leaves):
+            live = np.flatnonzero(alive)
+            sub = dist[np.ix_(live, live)]
+            iu, ju = np.triu_indices(len(live), k=1)
+            vals = sub[iu, ju]
+            d_min = vals.min()
+            # Tie-break exactly like the serial dict scan: smallest
+            # (distance, sorted pair of cluster-min callpoints).
+            ties = np.flatnonzero(vals == d_min)
+            lo = np.minimum(mins[live[iu[ties]]], mins[live[ju[ties]]])
+            hi = np.maximum(mins[live[iu[ties]]], mins[live[ju[ties]]])
+            pick = ties[np.lexsort((hi, lo))[0]]
+            ci, cj = live[iu[pick]], live[ju[pick]]
+            # Record (a, b) in the serial table's key order: leaf pairs
+            # were inserted min-first, any pair touching a merged cluster
+            # was inserted when the younger cluster formed, younger first.
+            if births[ci] == 0 and births[cj] == 0:
+                a_id, b_id = (ci, cj) if mins[ci] < mins[cj] else (cj, ci)
+            else:
+                a_id, b_id = (ci, cj) if births[ci] > births[cj] else (cj, ci)
+            result.merges.append(
+                (members[a_id], members[b_id], float(d_min))
+            )
+
+            new = n_leaves + step - 1
+            members.append(members[ci] | members[cj])
+            mins[new] = min(mins[ci], mins[cj])
+            births[new] = step
+            instr[new] = np.maximum(instr[ci], instr[cj])
+            accesses[new] = accesses[ci] + accesses[cj]
+            # The merged pool's miss rows (combined model + the MissCurve
+            # monotone/clip normalization), used only to derive rates.
+            merged_misses = combine_rate_rows(rates[ci], rates[cj])
+            merged_misses *= instr[new][:, None]
+            np.minimum.accumulate(merged_misses, axis=1, out=merged_misses)
+            np.clip(merged_misses, 0.0, None, out=merged_misses)
+            rates[new] = merged_misses / np.maximum(instr[new], 1e-12)[:, None]
+            for t in range(n_intervals):
+                hulls[new, t] = _lower_convex_hull_fast(rates[new, t])
+            alive[ci] = alive[cj] = False
+            survivors = np.flatnonzero(alive)
+            alive[new] = True
+            if len(survivors):
+                row = pair_distances(
+                    np.full(len(survivors), new), survivors
+                )
+                dist[new, survivors] = row
+                dist[survivors, new] = row
+        return result
+
+    def cluster_reference(self, profile: CallpointProfile) -> ClusteringResult:
+        """The serial merge-tree construction (the oracle).
+
+        O(n^2) pairwise :func:`pool_distance` calls into a dict-keyed
+        table, updated incrementally — fine for the 10s-100s of
+        callpoints real applications have, and the ground truth the
+        batched :meth:`cluster` is pinned against.
+        """
         pools: dict[frozenset, list[MissCurve]] = {
             frozenset({cp}): series for cp, series in profile.curves.items()
         }

@@ -19,16 +19,23 @@ Modules
 - :mod:`repro.curves.latency` — end-to-end latency (data-stall CPI) curves.
 """
 
-from repro.curves.combine import combine_miss_curves
+from repro.curves.combine import (
+    combine_many,
+    combine_miss_curves,
+    combine_miss_curves_batch,
+    shared_cache_misses,
+    shared_cache_misses_reference,
+)
 from repro.curves.fenwick import FenwickTree
 from repro.curves.gmon import GMON, quantize_curve
 from repro.curves.latency import LatencyModel, latency_curve
-from repro.curves.miss_curve import MissCurve
+from repro.curves.miss_curve import MissCurve, interp_rows
 from repro.curves.partition import (
     partition_capacity,
     partition_cost_curves,
     partition_cost_curves_reference,
     partitioned_miss_curve,
+    partitioned_miss_curve_batch,
 )
 from repro.curves.reuse import (
     StackDistanceProfiler,
@@ -44,13 +51,19 @@ __all__ = [
     "LatencyModel",
     "MissCurve",
     "StackDistanceProfiler",
+    "combine_many",
     "combine_miss_curves",
+    "combine_miss_curves_batch",
+    "interp_rows",
     "latency_curve",
     "miss_curve_from_distances",
     "partition_capacity",
     "partition_cost_curves",
     "partition_cost_curves_reference",
     "partitioned_miss_curve",
+    "partitioned_miss_curve_batch",
+    "shared_cache_misses",
+    "shared_cache_misses_reference",
     "stack_distances",
     "stack_distances_reference",
 ]

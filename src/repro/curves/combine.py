@@ -9,15 +9,42 @@ share of the combined flow.
 The model is commutative, associative (up to grid interpolation error),
 and idempotent on self-similar splits — properties exercised by the unit
 and property tests, and shown in Fig 23.
+
+Like the profiler and the partitioner one layer down, the module is
+organized as a batched engine plus retained serial oracles:
+
+- :func:`combine_rate_rows` — the batched kernel.  The read-head
+  recurrence is inherently sequential over the ``n + 1`` grid steps, but
+  each step's interpolation and flow split vectorizes across the batch
+  axis, so ``B`` pair-combines cost one pass of length-``B`` array ops
+  per step instead of ``B`` python loops.
+- :func:`advance_flow_heads` — the K-way head-advance kernel shared with
+  S-NUCA's shared-cache accounting: all ``K × B`` read heads move as one
+  array per capacity step, with an all-flows-zero early exit.
+- :func:`combine_miss_curves_batch` / :func:`shared_cache_misses` — the
+  :class:`MissCurve`-level consumers of those kernels.
+- :func:`combine_miss_curves` / :func:`shared_cache_misses_reference` —
+  the original scalar loops, retained as differential-testing oracles;
+  the Hypothesis suites pin the batched paths bit-identical to them.
 """
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
-from repro.curves.miss_curve import MissCurve
+from repro.curves.miss_curve import MissCurve, interp_rows, map_pair_batches
 
-__all__ = ["combine_miss_curves", "combine_many", "shared_cache_misses"]
+__all__ = [
+    "advance_flow_heads",
+    "combine_many",
+    "combine_miss_curves",
+    "combine_miss_curves_batch",
+    "combine_rate_rows",
+    "shared_cache_misses",
+    "shared_cache_misses_reference",
+]
 
 
 def _read(curve: np.ndarray, pos: float) -> float:
@@ -36,6 +63,9 @@ def combine_miss_curves(a: MissCurve, b: MissCurve) -> MissCurve:
     Both inputs must share the same grid.  The result is on the same grid;
     sizes past the sum of the two working sets saturate at the sum of the
     inputs' floor miss rates.
+
+    This is the scalar per-grid-step loop, retained as the oracle for
+    :func:`combine_miss_curves_batch` (which is bit-identical to it).
     """
     if a.chunk_bytes != b.chunk_bytes:
         raise ValueError("curves must share chunk_bytes")
@@ -70,6 +100,115 @@ def combine_miss_curves(a: MissCurve, b: MissCurve) -> MissCurve:
     )
 
 
+def combine_rate_rows(r1: np.ndarray, r2: np.ndarray) -> np.ndarray:
+    """Batched Listing-1 recurrence over per-instruction rate rows.
+
+    Args:
+        r1, r2: ``(B, n + 1)`` rate rows (misses per instruction on the
+            size grid), one pair-combine per row.
+
+    Returns:
+        ``(B, n + 1)`` combined rate rows.  Each row is bit-identical to
+        the scalar loop in :func:`combine_miss_curves` on the same pair:
+        the per-step interpolation, flow sum, and head split are the same
+        IEEE expressions evaluated elementwise across the batch.
+    """
+    r1 = np.ascontiguousarray(r1, dtype=np.float64)
+    r2 = np.ascontiguousarray(r2, dtype=np.float64)
+    if r1.shape != r2.shape or r1.ndim != 2:
+        raise ValueError(f"rate rows must share a (B, n+1) shape, got {r1.shape} vs {r2.shape}")
+    batch, width = r1.shape
+    out = np.empty((batch, width), dtype=np.float64)
+    s1 = np.zeros(batch)
+    s2 = np.zeros(batch)
+    for s in range(width):
+        f1 = interp_rows(r1, s1)
+        f2 = interp_rows(r2, s2)
+        f = f1 + f2
+        out[:, s] = f
+        flowing = f > 0.0
+        if not flowing.any():
+            # Every lane's flow has stopped: the heads are frozen, so all
+            # later steps would recompute exactly `f` again — fill and stop.
+            out[:, s + 1 :] = f[:, None]
+            break
+        safe = np.where(flowing, f, 1.0)
+        s1 = s1 + np.where(flowing, f1 / safe, 0.0)
+        s2 = s2 + np.where(flowing, f2 / safe, 0.0)
+    return out
+
+
+def _combined_group_rows(
+    group: list[tuple[MissCurve, MissCurve]], n: int
+) -> np.ndarray:
+    """One group's combined rate rows for :func:`map_pair_batches`."""
+    rows1 = np.empty((len(group), n + 1))
+    rows2 = np.empty((len(group), n + 1))
+    for row, (a, b) in enumerate(group):
+        m1 = a.extended(n).misses if a.n_chunks < n else a.misses
+        m2 = b.extended(n).misses if b.n_chunks < n else b.misses
+        rows1[row] = m1 / max(a.instructions, 1e-12)
+        rows2[row] = m2 / max(b.instructions, 1e-12)
+    return combine_rate_rows(rows1, rows2)
+
+
+def combine_miss_curves_batch(
+    pairs: Sequence[tuple[MissCurve, MissCurve]],
+) -> list[MissCurve]:
+    """Run ``B`` pair-combines at once; bit-identical to the serial oracle.
+
+    Pairs are grouped by their common grid length (``max(n_chunks)`` per
+    pair, matching the serial extension rule) and each group runs through
+    :func:`combine_rate_rows` in one batch.  Results come back in input
+    order and equal ``combine_miss_curves(a, b)`` exactly — misses,
+    accesses, and instructions.
+    """
+    return map_pair_batches(pairs, _combined_group_rows)
+
+
+def advance_flow_heads(
+    rates_flat: np.ndarray, included: np.ndarray, steps: int
+) -> np.ndarray:
+    """Advance ``K × B`` shared-cache read heads for ``steps`` chunks.
+
+    The K-way generalization of Listing 1's inner loop, vectorized so
+    every read head of a whole batch moves in one gather per capacity
+    step.  Used by :func:`shared_cache_misses` (``B = 1``) and by
+    S-NUCA's interval-batched accounting (``B`` = intervals).
+
+    Args:
+        rates_flat: ``(K * B, n + 1)`` rate rows, stream-major (stream
+            ``k`` of lane ``b`` at row ``k * B + b``).
+        included: ``(K, B)`` mask; excluded streams contribute exactly
+            ``0.0`` flow, which keeps the float sums bit-identical to a
+            serial evaluation of each lane's included subset.
+        steps: capacity chunks to hand out.
+
+    Returns:
+        ``(K * B,)`` final head positions.  Lanes whose total flow hits
+        zero freeze (all-flows-zero early exit once every lane is done).
+    """
+    n_streams, batch = included.shape
+    heads = np.zeros(n_streams * batch)
+    active = included.any(axis=0)
+    for __ in range(int(steps)):
+        if not active.any():
+            break
+        flows = interp_rows(rates_flat, heads).reshape(n_streams, batch)
+        flows = np.where(included, flows, 0.0)
+        # Sequential accumulation over the (small) stream axis keeps the
+        # sum order identical to the serial python `sum(flows)`.
+        total_flow = np.zeros(batch)
+        for k in range(n_streams):
+            total_flow = total_flow + flows[k]
+        active = active & (total_flow > 0.0)
+        if not active.any():
+            break
+        safe = np.where(active, total_flow, 1.0)
+        heads = heads + np.where(active, flows / safe, 0.0).reshape(-1)
+    return heads
+
+
 def shared_cache_misses(
     curves: list[MissCurve], size_bytes: float
 ) -> list[float]:
@@ -79,6 +218,37 @@ def shared_cache_misses(
     each in proportion to its share of the combined flow, until the
     shared capacity is exhausted; each stream's misses are its own curve
     read at its final head position.
+
+    All ``K`` heads move as one array per step (via
+    :func:`advance_flow_heads`); bit-identical to the retained scalar
+    loop :func:`shared_cache_misses_reference`.
+    """
+    if not curves:
+        return []
+    chunk = curves[0].chunk_bytes
+    if any(c.chunk_bytes != chunk for c in curves):
+        raise ValueError("curves must share chunk_bytes")
+    n = max(c.n_chunks for c in curves)
+    rates = np.stack(
+        [
+            (c.extended(n).misses if c.n_chunks < n else c.misses)
+            / max(c.instructions, 1e-12)
+            for c in curves
+        ]
+    )
+    included = np.ones((len(curves), 1), dtype=bool)
+    heads = advance_flow_heads(rates, included, int(size_bytes // chunk))
+    finals = interp_rows(rates, heads)
+    return [float(v) * c.instructions for v, c in zip(finals, curves)]
+
+
+def shared_cache_misses_reference(
+    curves: list[MissCurve], size_bytes: float
+) -> list[float]:
+    """The pre-vectorization scalar flow loop (the oracle).
+
+    Same contract as :func:`shared_cache_misses`; advances one head at a
+    time with python-float arithmetic.  Retained for differential tests.
     """
     if not curves:
         return []
@@ -107,10 +277,25 @@ def shared_cache_misses(
 
 
 def combine_many(curves: list[MissCurve]) -> MissCurve:
-    """Fold :func:`combine_miss_curves` over a list of curves."""
+    """Combine a list of curves as a balanced tree of batched combines.
+
+    Each tree level pairs adjacent curves and runs all of that level's
+    combines through :func:`combine_miss_curves_batch` at once (an odd
+    leftover is carried to the next level), so the python-level work is
+    ``O(log K)`` batched calls instead of a ``K``-long serial chain.  The
+    model is only associative up to grid interpolation error, so the
+    tree's values can differ slightly from a left fold's; the tree also
+    keeps that error balanced instead of compounding it linearly.
+    """
     if not curves:
         raise ValueError("combine_many requires at least one curve")
-    acc = curves[0]
-    for curve in curves[1:]:
-        acc = combine_miss_curves(acc, curve)
-    return acc
+    level = list(curves)
+    while len(level) > 1:
+        pairs = [
+            (level[i], level[i + 1]) for i in range(0, len(level) - 1, 2)
+        ]
+        combined = combine_miss_curves_batch(pairs)
+        if len(level) % 2:
+            combined.append(level[-1])
+        level = combined
+    return level[0]

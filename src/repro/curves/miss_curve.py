@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["MissCurve"]
+__all__ = ["MissCurve", "interp_rows"]
 
 
 @dataclass
@@ -191,6 +191,64 @@ class MissCurve:
             accesses=self.accesses + other.accesses,
             instructions=self.instructions + other.instructions,
         )
+
+
+def map_pair_batches(pairs, rows_fn) -> list["MissCurve"]:
+    """Shared scaffolding for the batched pair-curve engines.
+
+    Validates that each pair shares ``chunk_bytes``, groups pairs by the
+    serial pair-model grid (``max(n_chunks)``), calls ``rows_fn(group,
+    n)`` once per group for the ``(B, n + 1)`` result *rate* rows (one
+    per pair, in group order), and boxes each row as a
+    :class:`MissCurve` with the serial pair rules — ``instructions =
+    max`` of the pair, ``accesses`` summed, misses = rate row ×
+    instructions.  Both the batched combine and the batched
+    partitioned-split engines run through this driver so the grouping
+    and boxing rules cannot drift apart.
+    """
+    pairs = list(pairs)
+    results: list[MissCurve | None] = [None] * len(pairs)
+    by_grid: dict[tuple[int, int], list[int]] = {}
+    for k, (a, b) in enumerate(pairs):
+        if a.chunk_bytes != b.chunk_bytes:
+            raise ValueError("curves must share chunk_bytes")
+        n = max(a.n_chunks, b.n_chunks)
+        by_grid.setdefault((a.chunk_bytes, n), []).append(k)
+    for (chunk, n), idxs in by_grid.items():
+        group = [pairs[k] for k in idxs]
+        rows = rows_fn(group, n)
+        instr = np.array([max(a.instructions, b.instructions) for a, b in group])
+        misses = rows * instr[:, None]
+        for row, (k, (a, b)) in enumerate(zip(idxs, group)):
+            results[k] = MissCurve(
+                misses=misses[row],
+                chunk_bytes=chunk,
+                accesses=a.accesses + b.accesses,
+                instructions=float(instr[row]),
+            )
+    return results  # type: ignore[return-value]
+
+
+def interp_rows(matrix: np.ndarray, pos: np.ndarray) -> np.ndarray:
+    """Row-wise linear interpolation of ``matrix[t]`` at ``pos[t]``.
+
+    The exact arithmetic of :meth:`MissCurve.misses_at` (and of
+    ``combine._read``), vectorized across rows: truncate, interpolate,
+    clamp past the final column.  Every batched engine that replays a
+    scalar interpolation loop (the combine model's read heads, scheme
+    accounting) goes through this helper so the float expressions stay
+    bit-identical to the serial oracles.
+    """
+    n = matrix.shape[1] - 1
+    if n == 0:
+        return matrix[:, -1].copy()
+    over = pos >= n
+    lo = pos.astype(np.int64)
+    np.minimum(lo, n - 1, out=lo)
+    frac = pos - lo
+    rows = np.arange(matrix.shape[0])
+    interior = matrix[rows, lo] * (1 - frac) + matrix[rows, lo + 1] * frac
+    return np.where(over, matrix[:, -1], interior)
 
 
 def _lower_convex_hull(values: np.ndarray) -> np.ndarray:

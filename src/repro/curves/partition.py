@@ -32,6 +32,7 @@ from repro.curves.miss_curve import (
     MissCurve,
     _lower_convex_hull,
     _lower_convex_hull_fast,
+    map_pair_batches,
 )
 
 __all__ = [
@@ -39,6 +40,8 @@ __all__ = [
     "partition_cost_curves",
     "partition_cost_curves_reference",
     "partitioned_miss_curve",
+    "partitioned_miss_curve_batch",
+    "partitioned_rate_rows",
 ]
 
 
@@ -161,6 +164,90 @@ def partition_capacity(
         return [0] * len(curves), sum(float(c[0]) for c in cost)
     sizes, total_cost = partition_cost_curves(cost, total_chunks)
     return [s * chunk for s in sizes], total_cost
+
+
+def partitioned_rate_rows(
+    hulls_a: np.ndarray, hulls_b: np.ndarray
+) -> np.ndarray:
+    """Optimal-split cost rows for ``B`` pairs of convex-hull rows.
+
+    Args:
+        hulls_a, hulls_b: ``(B, n + 1)`` lower-convex-hull rows (rates on
+            the size grid), one pair per row.
+
+    Returns:
+        ``(B, n + 1)`` rows where ``row[S]`` is the minimum total rate
+        from splitting ``S`` chunks between the pair's hulls.  Each row
+        is bit-identical to the serial merged-gains scan in
+        :func:`partitioned_miss_curve`: one row-wise sort of the merged
+        marginal gains and one cumsum per pair, clipped at the pair's
+        floor rate.
+    """
+    hulls_a = np.ascontiguousarray(hulls_a, dtype=np.float64)
+    hulls_b = np.ascontiguousarray(hulls_b, dtype=np.float64)
+    if hulls_a.shape != hulls_b.shape or hulls_a.ndim != 2:
+        raise ValueError(
+            f"hull rows must share a (B, n+1) shape, got "
+            f"{hulls_a.shape} vs {hulls_b.shape}"
+        )
+    batch, width = hulls_a.shape
+    n = width - 1
+    best = np.empty((batch, width), dtype=np.float64)
+    best[:, 0] = hulls_a[:, 0] + hulls_b[:, 0]
+    if n > 0:
+        gains = np.concatenate(
+            [
+                hulls_a[:, :-1] - hulls_a[:, 1:],
+                hulls_b[:, :-1] - hulls_b[:, 1:],
+            ],
+            axis=1,
+        )
+        merged = np.sort(gains, axis=1)[:, ::-1]
+        cum = np.cumsum(merged[:, :n], axis=1)
+        best[:, 1:] = best[:, :1] - cum
+    floor = hulls_a[:, -1] + hulls_b[:, -1]
+    np.clip(best, floor[:, None], None, out=best)
+    return best
+
+
+def partitioned_miss_curve_batch(
+    pairs: list[tuple[MissCurve, MissCurve]],
+) -> list[MissCurve]:
+    """Run ``B`` optimal-split curves at once; bit-identical to the oracle.
+
+    Pairs are grouped by their common grid; within a group each distinct
+    curve's rate hull is primed once with the run-skipping monotone-chain
+    hull (``_lower_convex_hull_fast``, bit-identical to the reference
+    scan) and reused across every pair it appears in, then one
+    :func:`partitioned_rate_rows` call covers the whole group.  Results
+    equal ``partitioned_miss_curve(a, b)`` exactly.
+    """
+    return map_pair_batches(pairs, _partitioned_group_rows)
+
+
+def _partitioned_group_rows(
+    group: list[tuple[MissCurve, MissCurve]], n: int
+) -> np.ndarray:
+    """One group's optimal-split rows for :func:`map_pair_batches`.
+
+    Hull priming: one hull per distinct curve in the group, not per
+    pair, so a curve appearing in many pairs is hulled once.
+    """
+    hull_cache: dict[int, np.ndarray] = {}
+
+    def rate_hull(c: MissCurve) -> np.ndarray:
+        cached = hull_cache.get(id(c))
+        if cached is None:
+            ext = c.extended(n) if c.n_chunks < n else c
+            cached = _lower_convex_hull_fast(
+                ext.misses / max(c.instructions, 1e-12)
+            )
+            hull_cache[id(c)] = cached
+        return cached
+
+    rows_a = np.stack([rate_hull(a) for a, __ in group])
+    rows_b = np.stack([rate_hull(b) for __, b in group])
+    return partitioned_rate_rows(rows_a, rows_b)
 
 
 def partitioned_miss_curve(a: MissCurve, b: MissCurve) -> MissCurve:

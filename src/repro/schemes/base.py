@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.curves.miss_curve import MissCurve, prime_hull_caches
+from repro.curves.miss_curve import MissCurve, interp_rows, prime_hull_caches
 from repro.nuca.config import SystemConfig
 from repro.nuca.energy import EnergyBreakdown
 from repro.nuca.geometry import Placement
@@ -142,23 +142,10 @@ class SchemeResult:
         }
 
 
-def _interp_rows(matrix: np.ndarray, pos: np.ndarray) -> np.ndarray:
-    """Row-wise linear interpolation of ``matrix[t]`` at ``pos[t]``.
-
-    The exact arithmetic of :meth:`MissCurve.misses_at` (and of
-    ``combine._read``), vectorized across rows: truncate, interpolate,
-    clamp past the final column.
-    """
-    n = matrix.shape[1] - 1
-    if n == 0:
-        return matrix[:, -1].copy()
-    over = pos >= n
-    lo = pos.astype(np.int64)
-    np.minimum(lo, n - 1, out=lo)
-    frac = pos - lo
-    rows = np.arange(matrix.shape[0])
-    interior = matrix[rows, lo] * (1 - frac) + matrix[rows, lo + 1] * frac
-    return np.where(over, matrix[:, -1], interior)
+# Row-wise linear interpolation now lives with the curve containers so
+# the batched combine/clustering engines can share it; re-exported here
+# for the scheme-layer call sites.
+_interp_rows = interp_rows
 
 
 def _batched_misses_at(

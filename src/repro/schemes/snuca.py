@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.curves.combine import shared_cache_misses
+from repro.curves.combine import advance_flow_heads, shared_cache_misses
 from repro.curves.miss_curve import MissCurve, prime_hull_caches
 from repro.nuca.config import SystemConfig
 from repro.nuca.energy import EnergyBreakdown
@@ -179,25 +179,12 @@ class SNUCAScheme(Scheme):
         )
         n_vcs = len(vc_order)
         # One (vc × interval)-flat matrix per flow step: every read head
-        # of the whole run advances in a single gather.
+        # of the whole run advances in a single gather, inside the shared
+        # K-way kernel.
         rates_flat = rates.reshape(n_vcs * n_intervals, -1)
-        heads = np.zeros(n_vcs * n_intervals)
-        active = any_included.copy()
-        for __ in range(int(cfg.llc_bytes // chunk)):
-            if not active.any():
-                break
-            flows = _interp_rows(rates_flat, heads).reshape(
-                n_vcs, n_intervals
-            )
-            flows = np.where(included, flows, 0.0)
-            total_flow = np.zeros(n_intervals)
-            for v in range(n_vcs):
-                total_flow = total_flow + flows[v]
-            active = active & (total_flow > 0.0)
-            if not active.any():
-                break
-            safe = np.where(active, total_flow, 1.0)
-            heads = heads + np.where(active, flows / safe, 0.0).reshape(-1)
+        heads = advance_flow_heads(
+            rates_flat, included, int(cfg.llc_bytes // chunk)
+        )
         per_vc = _interp_rows(rates_flat, heads).reshape(n_vcs, n_intervals)
         per_vc = per_vc * instr
         misses_all = np.where(included, np.minimum(per_vc, acc), 0.0)

@@ -61,14 +61,24 @@ class Trace:
         }
 
     def region_footprint_bytes(self) -> dict[int, int]:
-        """Distinct-line footprint per region, in bytes."""
-        out: dict[int, int] = {}
-        for rid in np.unique(self.regions):
-            sel = self.regions == rid
-            out[int(rid)] = int(
-                len(np.unique(self.lines[sel])) * self.line_bytes
-            )
-        return out
+        """Distinct-line footprint per region, in bytes.
+
+        One lexsort over (region, line) pairs: after sorting, every
+        distinct (region, line) pair is the first element of a run, so a
+        single adjacent-difference pass counts distinct lines per region
+        — no per-region ``np.unique`` scan over the whole trace.
+        """
+        if len(self.regions) == 0:
+            return {}
+        order = np.lexsort((self.lines, self.regions))
+        regions = self.regions[order]
+        lines = self.lines[order]
+        first = np.ones(len(regions), dtype=bool)
+        first[1:] = (regions[1:] != regions[:-1]) | (lines[1:] != lines[:-1])
+        ids, counts = np.unique(regions[first], return_counts=True)
+        return {
+            int(rid): int(c) * self.line_bytes for rid, c in zip(ids, counts)
+        }
 
     def slice_accesses(self, lo: int, hi: int) -> "Trace":
         """Sub-trace over access indices [lo, hi); instructions pro-rated.

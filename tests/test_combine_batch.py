@@ -1,0 +1,158 @@
+"""Differential tests: batched combine engine vs the serial oracles.
+
+The batched kernels replay the serial loops' IEEE expressions
+elementwise across the batch axis, so every comparison here is *exact*
+(``np.array_equal`` / ``==``), not approximate — the same contract the
+stack-distance and partitioning engines are held to.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.curves import MissCurve
+from repro.curves.combine import (
+    combine_many,
+    combine_miss_curves,
+    combine_miss_curves_batch,
+    combine_rate_rows,
+    shared_cache_misses,
+    shared_cache_misses_reference,
+)
+
+CHUNK = 1024
+
+
+def curve(values, instr=1000.0, accesses=None):
+    values = np.asarray(values, dtype=float)
+    return MissCurve(
+        misses=values,
+        chunk_bytes=CHUNK,
+        accesses=float(values[0]) if accesses is None else accesses,
+        instructions=instr,
+    )
+
+
+curve_values = st.lists(
+    st.floats(0, 1000, allow_nan=False), min_size=2, max_size=24
+)
+instr_values = st.floats(1e-6, 1e7, allow_nan=False)
+
+
+def assert_curves_identical(got: MissCurve, want: MissCurve):
+    assert np.array_equal(got.misses, want.misses)
+    assert got.chunk_bytes == want.chunk_bytes
+    assert got.accesses == want.accesses
+    assert got.instructions == want.instructions
+
+
+class TestCombineBatchVsOracle:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(curve_values, instr_values, curve_values, instr_values),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_batch_bit_identical_to_serial(self, specs):
+        pairs = [
+            (curve(va, instr=ia), curve(vb, instr=ib))
+            for va, ia, vb, ib in specs
+        ]
+        got = combine_miss_curves_batch(pairs)
+        for (a, b), g in zip(pairs, got):
+            assert_curves_identical(g, combine_miss_curves(a, b))
+
+    def test_ragged_grids_grouped_per_pair(self):
+        """Pairs with different grid lengths batch by group, exactly."""
+        pairs = [
+            (curve([100, 10, 0]), curve([50] * 8)),
+            (curve([7, 3]), curve([9, 1])),
+            (curve([100] * 12), curve([60, 20, 5])),
+        ]
+        got = combine_miss_curves_batch(pairs)
+        for (a, b), g in zip(pairs, got):
+            assert_curves_identical(g, combine_miss_curves(a, b))
+
+    def test_zero_flow_lanes_freeze(self):
+        """All-zero pairs (flow stops immediately) stay bit-identical."""
+        z = MissCurve.zero(6, CHUNK, instructions=1000.0)
+        live = curve(100 * np.power(0.5, np.arange(7)))
+        pairs = [(z, z), (live, z), (z, live)]
+        got = combine_miss_curves_batch(pairs)
+        for (a, b), g in zip(pairs, got):
+            assert_curves_identical(g, combine_miss_curves(a, b))
+
+    def test_empty_batch(self):
+        assert combine_miss_curves_batch([]) == []
+
+    def test_chunk_mismatch_rejected(self):
+        a = curve([1, 0])
+        b = MissCurve(np.array([1.0, 0.0]), 2 * CHUNK, 1.0, 1000.0)
+        with pytest.raises(ValueError):
+            combine_miss_curves_batch([(a, b)])
+
+    def test_rate_rows_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            combine_rate_rows(np.zeros((2, 5)), np.zeros((3, 5)))
+
+
+class TestSharedCacheMisses:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(curve_values, instr_values), min_size=1, max_size=7
+        ),
+        st.floats(0, 64, allow_nan=False),
+    )
+    def test_vectorized_bit_identical_to_reference(self, specs, size_chunks):
+        curves = [curve(v, instr=i) for v, i in specs]
+        size = size_chunks * CHUNK
+        got = shared_cache_misses(curves, size)
+        want = shared_cache_misses_reference(curves, size)
+        assert got == want
+
+    def test_empty(self):
+        assert shared_cache_misses([], 1024.0) == []
+        assert shared_cache_misses_reference([], 1024.0) == []
+
+    def test_chunk_mismatch_rejected(self):
+        a = curve([1, 0])
+        b = MissCurve(np.array([1.0, 0.0]), 2 * CHUNK, 1.0, 1000.0)
+        with pytest.raises(ValueError):
+            shared_cache_misses([a, b], 4096.0)
+
+    def test_zero_flow_stops_early(self):
+        """Once every stream stops missing, heads freeze in both engines."""
+        curves = [curve([10, 0, 0, 0, 0]), curve([4, 0, 0, 0, 0])]
+        got = shared_cache_misses(curves, 100 * CHUNK)
+        want = shared_cache_misses_reference(curves, 100 * CHUNK)
+        assert got == want
+
+
+class TestCombineManyTree:
+    def test_tree_fold_four_curves(self):
+        cs = [
+            curve(100 * np.power(d, np.arange(13)))
+            for d in (0.5, 0.6, 0.7, 0.8)
+        ]
+        want = combine_miss_curves(
+            combine_miss_curves(cs[0], cs[1]),
+            combine_miss_curves(cs[2], cs[3]),
+        )
+        assert_curves_identical(combine_many(cs), want)
+
+    def test_odd_leftover_carried(self):
+        cs = [curve(100 * np.power(d, np.arange(9))) for d in (0.5, 0.7, 0.9)]
+        want = combine_miss_curves(combine_miss_curves(cs[0], cs[1]), cs[2])
+        assert_curves_identical(combine_many(cs), want)
+
+    def test_single_curve_identity(self):
+        c = curve([5, 1, 0])
+        assert combine_many([c]) is c
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            combine_many([])

@@ -127,3 +127,90 @@ class TestValidationRegressions:
     def test_error_names_offending_curve(self):
         with pytest.raises(ValueError, match="cost curve 1"):
             partition_cost_curves([np.array([3.0, 1.0]), np.array([7.0])], 4)
+
+
+class TestPartitionedCurveBatch:
+    """Batched optimal-split curves vs the serial ``partitioned_miss_curve``."""
+
+    @staticmethod
+    def _curve(values, instr=1000.0):
+        from repro.curves.miss_curve import MissCurve
+
+        values = np.asarray(values, dtype=float)
+        return MissCurve(
+            misses=values,
+            chunk_bytes=1024,
+            accesses=float(values[0]),
+            instructions=instr,
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.lists(curve_value, min_size=2, max_size=24),
+                st.floats(1e-6, 1e7, allow_nan=False),
+                st.lists(curve_value, min_size=2, max_size=24),
+                st.floats(1e-6, 1e7, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_batch_bit_identical_to_serial(self, specs):
+        from repro.curves.partition import (
+            partitioned_miss_curve,
+            partitioned_miss_curve_batch,
+        )
+
+        pairs = [
+            (self._curve(va, ia), self._curve(vb, ib))
+            for va, ia, vb, ib in specs
+        ]
+        got = partitioned_miss_curve_batch(pairs)
+        for (a, b), g in zip(pairs, got):
+            want = partitioned_miss_curve(a, b)
+            assert np.array_equal(g.misses, want.misses)
+            assert g.chunk_bytes == want.chunk_bytes
+            assert g.accesses == want.accesses
+            assert g.instructions == want.instructions
+
+    def test_shared_curves_hull_primed_once(self):
+        """A curve appearing in many pairs yields the same rows as serial."""
+        from repro.curves.partition import (
+            partitioned_miss_curve,
+            partitioned_miss_curve_batch,
+        )
+
+        rng = np.random.default_rng(9)
+        shared = self._curve(np.sort(rng.uniform(0, 100, 17))[::-1].copy())
+        others = [
+            self._curve(np.sort(rng.uniform(0, 100, 17))[::-1].copy())
+            for __ in range(4)
+        ]
+        pairs = [(shared, o) for o in others]
+        got = partitioned_miss_curve_batch(pairs)
+        for (a, b), g in zip(pairs, got):
+            assert np.array_equal(
+                g.misses, partitioned_miss_curve(a, b).misses
+            )
+
+    def test_empty_batch(self):
+        from repro.curves.partition import partitioned_miss_curve_batch
+
+        assert partitioned_miss_curve_batch([]) == []
+
+    def test_chunk_mismatch_rejected(self):
+        from repro.curves.miss_curve import MissCurve
+        from repro.curves.partition import partitioned_miss_curve_batch
+
+        a = self._curve([2.0, 1.0])
+        b = MissCurve(np.array([2.0, 1.0]), 2048, 2.0, 1000.0)
+        with pytest.raises(ValueError, match="chunk_bytes"):
+            partitioned_miss_curve_batch([(a, b)])
+
+    def test_rate_rows_shape_mismatch_rejected(self):
+        from repro.curves.partition import partitioned_rate_rows
+
+        with pytest.raises(ValueError, match="shape"):
+            partitioned_rate_rows(np.zeros((2, 5)), np.zeros((2, 6)))

@@ -37,6 +37,32 @@ class TestTrace:
         assert fp[0] == 64  # one distinct line
         assert fp[1] == 128  # two distinct lines
 
+    def test_region_footprint_matches_per_region_unique(self):
+        """The lexsort pass equals the per-region np.unique oracle."""
+        rng = np.random.default_rng(42)
+        for n in (1, 7, 1000):
+            trace = Trace(
+                lines=rng.integers(0, 40, n),
+                regions=rng.integers(0, 6, n).astype(np.int32),
+                instructions=1000.0,
+            )
+            want = {
+                int(rid): int(
+                    len(np.unique(trace.lines[trace.regions == rid])) * 64
+                )
+                for rid in np.unique(trace.regions)
+            }
+            assert trace.region_footprint_bytes() == want
+
+    def test_region_footprint_empty_trace_raises_nothing(self):
+        # Trace forbids zero instructions but not zero accesses.
+        trace = Trace(
+            lines=np.array([], dtype=np.int64),
+            regions=np.array([], dtype=np.int32),
+            instructions=1.0,
+        )
+        assert trace.region_footprint_bytes() == {}
+
     def test_slice_prorates_instructions(self):
         t = self.make().slice_accesses(0, 2)
         assert len(t) == 2
