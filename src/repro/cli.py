@@ -10,6 +10,8 @@ Commands
 - ``config`` — print the Table-3 system configuration.
 - ``campaign`` — submit/resume/inspect experiment grids (``repro.exp``);
   the ``mixes`` action runs resumable Fig-22-style mix grids.
+- ``ingest`` — convert/inspect/validate/register external memory traces
+  (``repro.ingest``); registered traces become first-class workloads.
 """
 
 from __future__ import annotations
@@ -36,12 +38,23 @@ def _cmd_list_apps(args: argparse.Namespace) -> int:
     print("\nparallel apps (Fig 13):")
     for name in sorted(PARALLEL_APPS):
         print(f"  {name}")
+    from repro.workloads import ingested_apps
+
+    ingested = ingested_apps()
+    if ingested:
+        print("\ningested traces ($REPRO_TRACE_DIR):")
+        for name in ingested:
+            print(f"  {name}")
     return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     config = sixteen_core_config() if args.cores == 16 else four_core_config()
-    workload = build_workload(args.app, scale=args.scale, seed=args.seed)
+    try:
+        workload = build_workload(args.app, scale=args.scale, seed=args.seed)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     schemes = args.schemes.split(",") if args.schemes else None
     if schemes is not None:
         unknown = set(schemes) - set(STANDARD_SCHEMES)
@@ -226,6 +239,233 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 1 if report.failures else 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    """Convert / inspect / validate / register external memory traces."""
+    from repro import ingest
+
+    if args.action != "convert" and args.out is not None:
+        # Otherwise `ingest register t.rtrace myapp` would silently bind
+        # the intended name to the unused convert-only OUT operand.
+        print(
+            f"unexpected argument {args.out!r}: only convert takes a "
+            "destination (use --name for register)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if args.action == "convert":
+            return _ingest_convert(args, ingest)
+        if args.action == "inspect":
+            return _ingest_inspect(args, ingest)
+        if args.action == "validate":
+            return _ingest_validate(args, ingest)
+        return _ingest_register(args, ingest)
+    except (OSError, ValueError) as exc:
+        print(f"ingest {args.action} failed: {exc}", file=sys.stderr)
+        return 2
+
+
+def _open_ingest_source(args, ingest):
+    source = ingest.open_trace_source(args.path, fmt=args.format)
+    if args.alloc_log is not None:
+        table = ingest.AttributionTable.from_log(args.alloc_log)
+        source = ingest.AttributedSource(source, table)
+    return source
+
+
+def _pipeline_only_flags(args) -> list[str]:
+    """Flags that only the .rtrace conversion pipeline can honour."""
+    flags = []
+    if args.instructions is not None:
+        flags.append("--instructions")
+    if args.apki is not None:
+        flags.append("--apki")
+    if args.line_bytes is not None:
+        flags.append("--line-bytes")
+    if args.dedup:
+        flags.append("--dedup")
+    return flags
+
+
+def _ingest_convert(args: argparse.Namespace, ingest) -> int:
+    if args.out is None:
+        print("convert requires a destination (OUT)", file=sys.stderr)
+        return 2
+    # Refuse rather than silently drop — and refuse *before* the source
+    # open, whose pre-scan can take minutes on a multi-GB text capture.
+    if not args.out.endswith(".rtrace"):
+        dropped = _pipeline_only_flags(args)
+        if args.alloc_log is not None and not args.out.endswith(
+            (".csv", ".jsonl", ".ndjson")
+        ):
+            # lackey/mtrace carry no region column, so the attribution
+            # would be computed and then discarded.
+            dropped.append("--alloc-log")
+        if dropped:
+            print(
+                f"{'/'.join(dropped)} cannot be honoured when the "
+                f"destination is {args.out!r}; convert to .rtrace (or a "
+                "region-carrying format) first",
+                file=sys.stderr,
+            )
+            return 2
+    source = _open_ingest_source(args, ingest)
+    if args.out.endswith(".rtrace"):
+        header = ingest.convert_to_rtrace(
+            source,
+            args.out,
+            line_bytes=args.line_bytes,
+            instructions=args.instructions,
+            apki=args.apki,
+            dedup=args.dedup,
+            max_records=args.chunk_records,
+        )
+        print(
+            f"wrote {args.out}: {header['n_records']} records, "
+            f"{len(header['region_names'])} regions, "
+            f"fingerprint {header['fingerprint']}"
+        )
+    else:
+        ingest.write_trace_file(
+            args.out, source, max_records=args.chunk_records
+        )
+        print(f"wrote {args.out}: {source.n_records} records")
+    return 0
+
+
+def _ingest_inspect(args: argparse.Namespace, ingest) -> int:
+    fmt = args.format or ingest.detect_format(args.path)
+    source = ingest.open_trace_source(args.path, fmt=fmt)
+    print(f"{args.path}:")
+    print(f"  format: {fmt}")
+    print(f"  records: {source.n_records}")
+    print(f"  line_bytes: {source.line_bytes}")
+    instr = source.instructions
+    print(f"  instructions: {instr if instr is not None else 'unknown'}")
+    if instr:
+        print(f"  apki: {source.n_records * 1000.0 / instr:.2f}")
+    if source.region_names:
+        print(f"  regions: {len(source.region_names)}")
+        for rid, name in sorted(source.region_names.items())[:20]:
+            print(f"    {rid}: {name}")
+        if len(source.region_names) > 20:
+            print(f"    ... {len(source.region_names) - 20} more")
+    if hasattr(source, "fingerprint"):
+        print(f"  fingerprint: {source.fingerprint}")
+        print(f"  chunks: {source.n_chunks}")
+    return 0
+
+
+def _ingest_validate(args: argparse.Namespace, ingest) -> int:
+    source = ingest.open_trace_source(args.path, fmt=args.format)
+    if hasattr(source, "verify_fingerprint"):
+        # One decompression pass: fingerprint + record-count check.
+        if not source.verify_fingerprint():
+            print(
+                f"INVALID {args.path}: content fingerprint or record "
+                "count mismatch",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"OK {args.path}: {source.n_records} records")
+        return 0
+    n = 0
+    for chunk in source.chunks(args.chunk_records):
+        n += len(chunk)  # TraceChunk rejects negative addrs/regions
+    if n != source.n_records:
+        print(
+            f"INVALID {args.path}: yielded {n} records, "
+            f"declared {source.n_records}",
+            file=sys.stderr,
+        )
+        return 1
+    # Text/binary interchange formats carry no checksum, so this is a
+    # parse check, not an integrity check — say so.
+    print(
+        f"OK {args.path}: {n} records parse cleanly "
+        "(no content fingerprint in this format)"
+    )
+    return 0
+
+
+def _ingest_register(args: argparse.Namespace, ingest) -> int:
+    import os
+    import shutil
+
+    from repro.workloads.registry import TRACE_DIR_ENV
+
+    root = args.trace_dir or os.environ.get(TRACE_DIR_ENV)
+    if root is None:
+        print(
+            f"no trace directory: pass --trace-dir or set ${TRACE_DIR_ENV}",
+            file=sys.stderr,
+        )
+        return 2
+    from pathlib import Path
+
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    name = args.name or Path(args.path).stem
+    if name in ALL_APPS:
+        # The registry resolves built-ins first, so a shadowed trace
+        # would be registered but unreachable.
+        print(
+            f"{name!r} is a built-in benchmark; pick another --name",
+            file=sys.stderr,
+        )
+        return 2
+    dst = root / f"{name}.rtrace"
+    fmt = args.format or ingest.detect_format(args.path)
+    # Stage in the same directory and os.replace at the end: the trace
+    # dir is shared with campaign workers resolving names concurrently,
+    # and a failed registration must not destroy an existing archive.
+    # The temp suffix is NOT .rtrace, so a crash leftover can never be
+    # listed as a phantom workload by the registry's glob.
+    tmp = root / f".{name}.{os.getpid()}.rtrace-tmp"
+    try:
+        if (
+            fmt == "rtrace"
+            and args.alloc_log is None
+            and not _pipeline_only_flags(args)
+        ):
+            staged = ingest.RTraceSource(args.path)  # structural check
+            if staged.instructions is None:
+                # Reject before copying a potentially huge archive.
+                print(
+                    "trace carries no instruction count; re-run with "
+                    "--instructions or --apki",
+                    file=sys.stderr,
+                )
+                return 2
+            shutil.copyfile(args.path, tmp)
+        else:
+            source = _open_ingest_source(args, ingest)
+            header = ingest.convert_to_rtrace(
+                source,
+                tmp,
+                line_bytes=args.line_bytes,
+                instructions=args.instructions,
+                apki=args.apki,
+                dedup=args.dedup,
+                max_records=args.chunk_records,
+            )
+            # Fail registration, not first use: a trace without an
+            # instruction count cannot be simulated.
+            if header["instructions"] is None:
+                print(
+                    "trace carries no instruction count; re-run with "
+                    "--instructions or --apki",
+                    file=sys.stderr,
+                )
+                return 2
+        os.replace(tmp, dst)
+    finally:
+        tmp.unlink(missing_ok=True)
+    print(f"registered {name!r} -> {dst}")
+    print(f'run it with: python -m repro run {name}')
+    return 0
+
+
 def _cmd_config(args: argparse.Namespace) -> int:
     for cfg in (four_core_config(), sixteen_core_config()):
         print(f"--- {cfg.name} ---")
@@ -247,7 +487,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list-apps", help="list all workloads")
 
     p_run = sub.add_parser("run", help="simulate one app under schemes")
-    p_run.add_argument("app", choices=ALL_APPS)
+    p_run.add_argument(
+        "app",
+        help="a built-in benchmark (see list-apps) or an ingested trace",
+    )
     p_run.add_argument("--scale", default="ref", choices=["train", "ref"])
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--cores", type=int, default=4, choices=[4, 16])
@@ -341,6 +584,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--intervals", type=int, default=8,
         help="mixes: reconfiguration intervals per run",
     )
+
+    p_ing = sub.add_parser(
+        "ingest", help="convert/inspect/validate/register external traces"
+    )
+    p_ing.add_argument(
+        "action",
+        choices=["convert", "inspect", "validate", "register"],
+        help=(
+            "convert a trace between formats (OUT ending in .rtrace runs "
+            "the full pipeline), summarize one, check its integrity, or "
+            "register it as a named workload"
+        ),
+    )
+    p_ing.add_argument("path", help="input trace file")
+    p_ing.add_argument(
+        "out", nargs="?", default=None, help="convert: destination file"
+    )
+    p_ing.add_argument(
+        "--format",
+        default=None,
+        help="input format (default: detect from extension/content)",
+    )
+    p_ing.add_argument(
+        "--line-bytes", type=int, default=None,
+        help="cache-line size (default: the source's, usually 64)",
+    )
+    p_ing.add_argument(
+        "--instructions", type=float, default=None,
+        help="total instruction count of the capture",
+    )
+    p_ing.add_argument(
+        "--apki", type=float, default=None,
+        help="derive instructions from accesses-per-kilo-instruction",
+    )
+    p_ing.add_argument(
+        "--alloc-log", default=None,
+        help="allocation log (JSONL) for address -> region attribution",
+    )
+    p_ing.add_argument(
+        "--dedup", action="store_true",
+        help="collapse consecutive same-line accesses per region "
+        "(private-cache model, like synthesized workloads)",
+    )
+    p_ing.add_argument(
+        "--chunk-records", type=int, default=1 << 21,
+        help="streaming chunk size in records (memory bound)",
+    )
+    p_ing.add_argument(
+        "--name", default=None,
+        help="register: workload name (default: file stem)",
+    )
+    p_ing.add_argument(
+        "--trace-dir", default=None,
+        help="register: destination directory (default: $REPRO_TRACE_DIR)",
+    )
     return parser
 
 
@@ -352,6 +650,7 @@ _COMMANDS = {
     "parallel": _cmd_parallel,
     "config": _cmd_config,
     "campaign": _cmd_campaign,
+    "ingest": _cmd_ingest,
 }
 
 

@@ -37,6 +37,8 @@ from repro.curves.miss_curve import MissCurve
 
 __all__ = [
     "StackDistanceProfiler",
+    "distance_bucket_counts",
+    "miss_curve_from_bucket_counts",
     "miss_curve_from_distances",
     "stack_distances",
     "stack_distances_reference",
@@ -303,6 +305,34 @@ def miss_curve_from_distances(
             distance observed on a 1/2^k-sampled address stream estimates
             a true distance 2^k times larger).
     """
+    hist, n_cold, n_total = distance_bucket_counts(
+        distances, chunk_bytes, n_chunks, line_bytes, distance_scale
+    )
+    return miss_curve_from_bucket_counts(
+        hist, n_cold, n_total, chunk_bytes, n_chunks, instructions, scale
+    )
+
+
+def distance_bucket_counts(
+    distances: np.ndarray,
+    chunk_bytes: int,
+    n_chunks: int,
+    line_bytes: int = 64,
+    distance_scale: float = 1.0,
+) -> tuple[np.ndarray, int, int]:
+    """Histogram distances into miss-curve size buckets.
+
+    The additive half of :func:`miss_curve_from_distances`: bucket
+    histograms are plain integer counts, so an out-of-core profiler can
+    accumulate them chunk by chunk and finalize once with
+    :func:`miss_curve_from_bucket_counts` — bit-identical to bucketing
+    the concatenated distances in one call.
+
+    Returns:
+        ``(hist, n_cold, n_total)`` — int64 histogram of length
+        ``n_chunks + 2`` over non-cold accesses, the cold-miss count,
+        and the total access count.
+    """
     distances = np.asarray(distances, dtype=np.float64)
     lines_per_chunk = chunk_bytes / line_bytes
     cold = distances >= float(COLD)
@@ -312,15 +342,38 @@ def miss_curve_from_distances(
     scaled_dist = distances[~cold] * distance_scale
     buckets = np.ceil(scaled_dist / lines_per_chunk + 1e-12).astype(np.int64)
     buckets = np.clip(buckets, 1, n_chunks + 1)
-    hist = np.bincount(buckets, minlength=n_chunks + 2).astype(np.float64)
+    hist = np.bincount(buckets, minlength=n_chunks + 2)
+    return hist, int(np.count_nonzero(cold)), len(distances)
+
+
+def miss_curve_from_bucket_counts(
+    hist: np.ndarray,
+    n_cold: int,
+    n_accesses: int,
+    chunk_bytes: int,
+    n_chunks: int,
+    instructions: float,
+    scale: float = 1.0,
+) -> MissCurve:
+    """Finalize accumulated bucket counts into a :class:`MissCurve`.
+
+    Args:
+        hist: integer bucket histogram (length ``n_chunks + 2``), summed
+            over any number of :func:`distance_bucket_counts` calls.
+        n_cold: total cold misses.
+        n_accesses: total profiled accesses (cold included).
+        chunk_bytes / n_chunks / instructions / scale: as in
+            :func:`miss_curve_from_distances`.
+    """
+    hist = np.asarray(hist).astype(np.float64)
     cum = np.cumsum(hist)
     total = cum[-1]
     # misses[i] = (# accesses whose bucket > i) + cold misses.
-    misses = (total - cum[: n_chunks + 1]) + float(np.count_nonzero(cold))
+    misses = (total - cum[: n_chunks + 1]) + float(n_cold)
     return MissCurve(
         misses=misses * scale,
         chunk_bytes=chunk_bytes,
-        accesses=float(len(distances)) * scale,
+        accesses=float(n_accesses) * scale,
         instructions=instructions,
     )
 

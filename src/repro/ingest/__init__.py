@@ -1,0 +1,76 @@
+"""External-trace ingestion & out-of-core streaming profiling.
+
+Turns the reproduction from a closed fixture generator into a system
+that accepts outside traffic: externally captured memory traces
+(Valgrind Lackey, DynamoRIO-memtrace-style binaries, CSV/JSONL, or the
+native ``.rtrace`` archive) become first-class workloads every scheme,
+sweep and campaign can run.
+
+The pipeline::
+
+    open_trace_source(path)          # pluggable format readers
+      -> AttributionTable.attribute  # address ranges -> Whirlpool regions
+      -> convert_to_rtrace / materialize
+      -> workloads.registry          # `python -m repro ingest register`
+
+and, for traces too large to hold in memory,
+:class:`StreamingStackProfiler` profiles straight off the chunk stream,
+bit-identical to the in-memory engine.
+"""
+
+from repro.ingest.attribute import FALLBACK_NAME, AttributionTable
+from repro.ingest.formats import (
+    FORMATS,
+    WRITERS,
+    CSVSource,
+    JSONLSource,
+    LackeySource,
+    MTraceSource,
+    RTraceSource,
+    RTraceWriter,
+    detect_format,
+    open_trace_source,
+    register_format,
+    write_trace_file,
+)
+from repro.ingest.pipeline import (
+    AttributedSource,
+    convert_to_rtrace,
+    load_workload,
+    materialize,
+    resolve_instructions,
+)
+from repro.ingest.source import (
+    DEFAULT_CHUNK_RECORDS,
+    ArraySource,
+    TraceChunk,
+    TraceSource,
+)
+from repro.ingest.stream import StreamingStackProfiler
+
+__all__ = [
+    "ArraySource",
+    "AttributedSource",
+    "AttributionTable",
+    "CSVSource",
+    "DEFAULT_CHUNK_RECORDS",
+    "FALLBACK_NAME",
+    "FORMATS",
+    "JSONLSource",
+    "LackeySource",
+    "MTraceSource",
+    "RTraceSource",
+    "RTraceWriter",
+    "StreamingStackProfiler",
+    "TraceChunk",
+    "TraceSource",
+    "WRITERS",
+    "convert_to_rtrace",
+    "detect_format",
+    "load_workload",
+    "materialize",
+    "open_trace_source",
+    "register_format",
+    "resolve_instructions",
+    "write_trace_file",
+]

@@ -1,0 +1,794 @@
+"""Pluggable trace formats: readers, writers, and the format registry.
+
+Four interchange formats plus the native archive:
+
+========  ==========================  ======================================
+name      extensions                  what it is
+========  ==========================  ======================================
+lackey    .lackey .vgtrace            Valgrind ``--tool=lackey
+                                      --trace-mem=yes`` text output
+mtrace    .mtrace                     DynamoRIO-memtrace-style packed
+                                      little-endian binary records
+csv       .csv                        ``addr[,region]`` rows, decimal or
+                                      0x-hex, optional header line
+jsonl     .jsonl .ndjson              one ``{"addr": ..., "region": ...}``
+                                      object per line
+rtrace    .rtrace                     native chunked-npz archive (header
+                                      with line size, region names and a
+                                      content fingerprint)
+========  ==========================  ======================================
+
+Readers are :class:`~repro.ingest.source.TraceSource` classes registered
+in :data:`FORMATS`; :func:`open_trace_source` resolves a path by explicit
+name, extension, or content sniffing.  Writers stream any source out
+chunk by chunk, so conversion never materializes the trace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import zipfile
+from pathlib import Path
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.ingest.source import (
+    DEFAULT_CHUNK_RECORDS,
+    TraceChunk,
+    TraceSource,
+)
+
+__all__ = [
+    "FORMATS",
+    "WRITERS",
+    "LackeySource",
+    "MTraceSource",
+    "CSVSource",
+    "JSONLSource",
+    "RTraceSource",
+    "RTraceWriter",
+    "detect_format",
+    "open_trace_source",
+    "register_format",
+    "write_trace_file",
+]
+
+# ----------------------------------------------------------------------
+# Valgrind Lackey text (--tool=lackey --trace-mem=yes)
+# ----------------------------------------------------------------------
+
+#: Lackey ops that are data references (instruction fetches are "I").
+_LACKEY_DATA_OPS = frozenset("LSM")
+
+
+def _lackey_records(path: Path) -> Iterator[tuple[str, int]]:
+    """Yield (op, byte address) for every well-formed record line."""
+    with open(path, "r", errors="replace") as f:
+        for raw in f:
+            s = raw.strip()
+            if not s or s[0] == "=":  # valgrind ==pid== banner lines
+                continue
+            op = s[0]
+            if op != "I" and op not in _LACKEY_DATA_OPS:
+                continue
+            body = s[1:].strip()
+            addr_text = body.split(",", 1)[0].strip()
+            if not addr_text:
+                raise ValueError(f"malformed lackey record: {raw!r}")
+            try:
+                addr = int(addr_text, 16)
+            except ValueError:
+                raise ValueError(f"malformed lackey record: {raw!r}") from None
+            yield op, addr
+
+
+class LackeySource:
+    """Valgrind Lackey memory-trace text.
+
+    Instruction-fetch records ("I") are not data accesses, but their
+    count *is* the instruction count of the capture, so the pre-scan
+    that sizes the source also recovers ``instructions`` for free.
+    """
+
+    name = "lackey"
+    extensions = (".lackey", ".vgtrace")
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        n_data = 0
+        n_instr = 0
+        for op, _ in _lackey_records(self.path):
+            if op == "I":
+                n_instr += 1
+            else:
+                n_data += 1
+        self.n_records = n_data
+        self.instructions = float(n_instr) if n_instr else None
+        self.line_bytes = 64
+        self.region_names: dict[int, str] = {}
+
+    @staticmethod
+    def sniff(head: bytes) -> bool:
+        try:
+            text = head.decode("ascii")
+        except UnicodeDecodeError:
+            return False
+        for line in text.splitlines()[:10]:
+            s = line.strip()
+            if not s or s[0] == "=":
+                continue
+            return (
+                s[0] in "ILSM" and "," in s and s[1:2] in (" ", "\t", "")
+            )
+        return False
+
+    def chunks(
+        self, max_records: int = DEFAULT_CHUNK_RECORDS
+    ) -> Iterator[TraceChunk]:
+        if max_records <= 0:
+            raise ValueError(f"max_records must be positive, got {max_records}")
+        buf: list[int] = []
+        for op, addr in _lackey_records(self.path):
+            if op == "I":
+                continue
+            buf.append(addr)
+            if len(buf) >= max_records:
+                yield TraceChunk(addrs=np.array(buf, dtype=np.int64))
+                buf = []
+        if buf:
+            yield TraceChunk(addrs=np.array(buf, dtype=np.int64))
+
+
+# ----------------------------------------------------------------------
+# Packed binary (DynamoRIO-memtrace-style fixed records)
+# ----------------------------------------------------------------------
+
+_MTRACE_MAGIC = b"RMEMTR01"
+
+#: 16-byte little-endian record: address, access size, type, thread.
+MTRACE_RECORD = np.dtype(
+    [
+        ("addr", "<u8"),
+        ("size", "<u2"),
+        ("type", "u1"),
+        ("pad", "u1"),
+        ("tid", "<u4"),
+    ]
+)
+
+#: Header: magic, record count (u64), instructions (f64; NaN = unknown).
+_MTRACE_HEADER_BYTES = len(_MTRACE_MAGIC) + 8 + 8
+
+
+class MTraceSource:
+    """Packed binary trace: fixed 16-byte records after a small header.
+
+    The record layout follows DynamoRIO's memtrace samples (address,
+    size, type, thread id per record); the header adds what a raw
+    capture lacks — an exact record count and the instruction total —
+    so consumers never need a sizing pass over gigabytes of records.
+    """
+
+    name = "mtrace"
+    extensions = (".mtrace",)
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        with open(self.path, "rb") as f:
+            header = f.read(_MTRACE_HEADER_BYTES)
+        if len(header) < _MTRACE_HEADER_BYTES or not header.startswith(
+            _MTRACE_MAGIC
+        ):
+            raise ValueError(f"{self.path}: not an mtrace file (bad magic)")
+        self.n_records = int(np.frombuffer(header, "<u8", 1, 8)[0])
+        instr = float(np.frombuffer(header, "<f8", 1, 16)[0])
+        self.instructions = None if np.isnan(instr) else instr
+        self.line_bytes = 64
+        self.region_names: dict[int, str] = {}
+        body = self.path.stat().st_size - _MTRACE_HEADER_BYTES
+        if body != self.n_records * MTRACE_RECORD.itemsize:
+            raise ValueError(
+                f"{self.path}: header declares {self.n_records} records "
+                f"but body holds {body} bytes "
+                f"({body / MTRACE_RECORD.itemsize:g} records)"
+            )
+
+    @staticmethod
+    def sniff(head: bytes) -> bool:
+        return head.startswith(_MTRACE_MAGIC)
+
+    def chunks(
+        self, max_records: int = DEFAULT_CHUNK_RECORDS
+    ) -> Iterator[TraceChunk]:
+        if max_records <= 0:
+            raise ValueError(f"max_records must be positive, got {max_records}")
+        with open(self.path, "rb") as f:
+            f.seek(_MTRACE_HEADER_BYTES)
+            remaining = self.n_records
+            while remaining > 0:
+                count = min(remaining, max_records)
+                records = np.fromfile(f, dtype=MTRACE_RECORD, count=count)
+                if len(records) < count:
+                    raise ValueError(
+                        f"{self.path}: truncated body "
+                        f"({remaining} records still expected)"
+                    )
+                remaining -= count
+                yield TraceChunk(addrs=records["addr"].astype(np.int64))
+
+
+# ----------------------------------------------------------------------
+# CSV / JSONL text
+# ----------------------------------------------------------------------
+
+
+def _parse_int(text: str) -> int:
+    text = text.strip()
+    if text.lower().startswith(("0x", "-0x")):
+        return int(text, 16)
+    return int(text, 10)
+
+
+class CSVSource:
+    """``addr[,region]`` rows; decimal or 0x-hex; optional header line."""
+
+    name = "csv"
+    extensions = (".csv",)
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.line_bytes = 64
+        self.instructions: float | None = None
+        self.region_names: dict[int, str] = {}
+        self._has_header = False
+        self._has_regions = False
+        n = 0
+        for i, row in enumerate(self._rows()):
+            if i == 0:
+                try:
+                    _parse_int(row[0])
+                except ValueError:
+                    self._has_header = True
+                    continue
+            n += 1
+            if len(row) > 1 and row[1]:
+                self._has_regions = True
+        self.n_records = n
+
+    def _rows(self) -> Iterator[list[str]]:
+        with open(self.path, "r", errors="replace") as f:
+            for raw in f:
+                s = raw.strip()
+                if s:
+                    yield [c.strip() for c in s.split(",")]
+
+    @staticmethod
+    def sniff(head: bytes) -> bool:
+        try:
+            text = head.decode("ascii")
+        except UnicodeDecodeError:
+            return False
+        first = next((ln for ln in text.splitlines() if ln.strip()), "")
+        cols = [c.strip() for c in first.split(",")]
+        if cols and cols[0].lower() in ("addr", "address"):
+            return True
+        try:
+            _parse_int(cols[0])
+        except (ValueError, IndexError):
+            return False
+        return True
+
+    def chunks(
+        self, max_records: int = DEFAULT_CHUNK_RECORDS
+    ) -> Iterator[TraceChunk]:
+        if max_records <= 0:
+            raise ValueError(f"max_records must be positive, got {max_records}")
+        addrs: list[int] = []
+        regions: list[int] = []
+        for i, row in enumerate(self._rows()):
+            if i == 0 and self._has_header:
+                continue
+            addrs.append(_parse_int(row[0]))
+            if self._has_regions:
+                if len(row) < 2 or not row[1]:
+                    raise ValueError(
+                        f"{self.path}: row {i + 1} is missing its region "
+                        "column (file mixes attributed and bare rows)"
+                    )
+                regions.append(_parse_int(row[1]))
+            if len(addrs) >= max_records:
+                yield self._chunk(addrs, regions)
+                addrs, regions = [], []
+        if addrs:
+            yield self._chunk(addrs, regions)
+
+    def _chunk(self, addrs: list[int], regions: list[int]) -> TraceChunk:
+        return TraceChunk(
+            addrs=np.array(addrs, dtype=np.int64),
+            regions=(
+                np.array(regions, dtype=np.int32)
+                if self._has_regions
+                else None
+            ),
+        )
+
+
+class JSONLSource:
+    """One ``{"addr": ..., "region": ...}`` object per line."""
+
+    name = "jsonl"
+    extensions = (".jsonl", ".ndjson")
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.line_bytes = 64
+        self.instructions: float | None = None
+        self.region_names: dict[int, str] = {}
+        self._has_regions = False
+        n = 0
+        for obj in self._objects():
+            n += 1
+            if "region" in obj:
+                self._has_regions = True
+        self.n_records = n
+
+    def _objects(self) -> Iterator[dict]:
+        with open(self.path, "r", errors="replace") as f:
+            for lineno, raw in enumerate(f, 1):
+                s = raw.strip()
+                if not s:
+                    continue
+                try:
+                    obj = json.loads(s)
+                except json.JSONDecodeError as exc:
+                    raise ValueError(
+                        f"{self.path}:{lineno}: invalid JSON: {exc}"
+                    ) from None
+                if not isinstance(obj, dict) or "addr" not in obj:
+                    raise ValueError(
+                        f"{self.path}:{lineno}: expected an object with "
+                        f"an 'addr' field, got {s[:60]!r}"
+                    )
+                yield obj
+
+    @staticmethod
+    def sniff(head: bytes) -> bool:
+        try:
+            text = head.decode("ascii")
+        except UnicodeDecodeError:
+            return False
+        first = next((ln for ln in text.splitlines() if ln.strip()), "")
+        return first.lstrip().startswith("{") and "addr" in first
+
+    @staticmethod
+    def _int_field(obj: dict, key: str, path, n: int) -> int:
+        # Reject JSON floats instead of truncating: 1.9 -> 1 would
+        # silently alias distinct addresses (same invariant Trace and
+        # TraceBuilder enforce downstream).
+        value = obj[key]
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValueError(
+                f"{path}: record {n}: {key!r} must be a JSON integer, "
+                f"got {value!r}"
+            )
+        return value
+
+    def chunks(
+        self, max_records: int = DEFAULT_CHUNK_RECORDS
+    ) -> Iterator[TraceChunk]:
+        if max_records <= 0:
+            raise ValueError(f"max_records must be positive, got {max_records}")
+        addrs: list[int] = []
+        regions: list[int] = []
+        for obj in self._objects():
+            addrs.append(self._int_field(obj, "addr", self.path, len(addrs) + 1))
+            if self._has_regions:
+                if "region" not in obj:
+                    raise ValueError(
+                        f"{self.path}: record {len(addrs)} is missing its "
+                        "'region' field (file mixes attributed and bare rows)"
+                    )
+                regions.append(
+                    self._int_field(obj, "region", self.path, len(addrs))
+                )
+            if len(addrs) >= max_records:
+                yield self._chunk(addrs, regions)
+                addrs, regions = [], []
+        if addrs:
+            yield self._chunk(addrs, regions)
+
+    def _chunk(self, addrs: list[int], regions: list[int]) -> TraceChunk:
+        return TraceChunk(
+            addrs=np.array(addrs, dtype=np.int64),
+            regions=(
+                np.array(regions, dtype=np.int32)
+                if self._has_regions
+                else None
+            ),
+        )
+
+
+# ----------------------------------------------------------------------
+# Native .rtrace archive (chunked npz)
+# ----------------------------------------------------------------------
+
+_RTRACE_VERSION = 1
+
+
+def _rtrace_fingerprint_hashers() -> tuple:
+    return hashlib.blake2b(digest_size=16), hashlib.blake2b(digest_size=16)
+
+
+def _rtrace_fingerprint(h_lines, h_regions, line_bytes: int) -> str:
+    """Combine the per-array digests; invariant to chunk boundaries."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(h_lines.digest())
+    h.update(h_regions.digest())
+    h.update(f"line_bytes={line_bytes}".encode())
+    return h.hexdigest()
+
+
+class RTraceWriter:
+    """Streaming writer for the native ``.rtrace`` archive.
+
+    An ``.rtrace`` is a zip of npy chunk members plus a ``header.json``
+    carrying ``line_bytes``, region names, record/instruction totals and
+    a content fingerprint (blake2b over the line and region arrays,
+    independent of how the stream was chunked).  Chunks are appended as
+    they are produced, so conversion runs in bounded memory.
+    """
+
+    def __init__(self, path: str | Path, line_bytes: int) -> None:
+        if line_bytes <= 0:
+            raise ValueError(f"line_bytes must be positive, got {line_bytes}")
+        self.path = Path(path)
+        self.line_bytes = line_bytes
+        self._zf = zipfile.ZipFile(self.path, "w", zipfile.ZIP_DEFLATED)
+        self._n_chunks = 0
+        self._n_records = 0
+        self._h_lines, self._h_regions = _rtrace_fingerprint_hashers()
+        self._closed = False
+
+    def append(self, lines: np.ndarray, regions: np.ndarray) -> None:
+        """Append one chunk of (line address, region id) records."""
+        if self._closed:
+            raise ValueError("writer is closed")
+        lines = np.ascontiguousarray(lines, dtype=np.int64)
+        regions = np.ascontiguousarray(regions, dtype=np.int32)
+        if len(lines) != len(regions):
+            raise ValueError("lines and regions must have equal length")
+        if len(lines) == 0:
+            return
+        self._h_lines.update(lines.tobytes())
+        self._h_regions.update(regions.tobytes())
+        self._write_member(f"chunk_{self._n_chunks:06d}.lines.npy", lines)
+        self._write_member(f"chunk_{self._n_chunks:06d}.regions.npy", regions)
+        self._n_chunks += 1
+        self._n_records += len(lines)
+
+    @property
+    def n_records(self) -> int:
+        """Records appended so far."""
+        return self._n_records
+
+    def _write_member(self, name: str, arr: np.ndarray) -> None:
+        buf = io.BytesIO()
+        np.lib.format.write_array(buf, arr, allow_pickle=False)
+        self._zf.writestr(name, buf.getvalue())
+
+    def close(
+        self,
+        instructions: float | None = None,
+        region_names: dict[int, str] | None = None,
+    ) -> dict:
+        """Finish the archive; returns the header that was written."""
+        if self._closed:
+            raise ValueError("writer is closed")
+        header = {
+            "format": "rtrace",
+            "version": _RTRACE_VERSION,
+            "line_bytes": self.line_bytes,
+            "n_records": self._n_records,
+            "n_chunks": self._n_chunks,
+            "instructions": instructions,
+            "region_names": {
+                str(rid): name for rid, name in (region_names or {}).items()
+            },
+            "fingerprint": _rtrace_fingerprint(
+                self._h_lines, self._h_regions, self.line_bytes
+            ),
+        }
+        self._zf.writestr("header.json", json.dumps(header, sort_keys=True))
+        self._zf.close()
+        self._closed = True
+        return header
+
+
+class RTraceSource:
+    """Reader for the native ``.rtrace`` archive."""
+
+    name = "rtrace"
+    extensions = (".rtrace",)
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        try:
+            with zipfile.ZipFile(self.path) as zf:
+                header = json.loads(zf.read("header.json"))
+        except (zipfile.BadZipFile, KeyError, json.JSONDecodeError) as exc:
+            raise ValueError(f"{self.path}: not an rtrace archive: {exc}") from None
+        if header.get("format") != "rtrace":
+            raise ValueError(f"{self.path}: not an rtrace archive")
+        if header.get("version") != _RTRACE_VERSION:
+            raise ValueError(
+                f"{self.path}: unsupported rtrace version "
+                f"{header.get('version')!r} (expected {_RTRACE_VERSION})"
+            )
+        self.header = header
+        try:
+            self.n_records = int(header["n_records"])
+            self.n_chunks = int(header["n_chunks"])
+            self.line_bytes = int(header["line_bytes"])
+            instr = header.get("instructions")
+            self.instructions = float(instr) if instr is not None else None
+            self.region_names = {
+                int(rid): name
+                for rid, name in header["region_names"].items()
+            }
+            self.fingerprint = header["fingerprint"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(
+                f"{self.path}: malformed rtrace header: {exc!r}"
+            ) from None
+
+    @staticmethod
+    def sniff(head: bytes) -> bool:
+        return head.startswith(b"PK\x03\x04")
+
+    def _load_member(self, zf: zipfile.ZipFile, name: str) -> np.ndarray:
+        with zf.open(name) as f:
+            return np.lib.format.read_array(
+                io.BytesIO(f.read()), allow_pickle=False
+            )
+
+    def chunks(
+        self, max_records: int = DEFAULT_CHUNK_RECORDS
+    ) -> Iterator[TraceChunk]:
+        if max_records <= 0:
+            raise ValueError(f"max_records must be positive, got {max_records}")
+        with zipfile.ZipFile(self.path) as zf:
+            for c in range(self.n_chunks):
+                lines = self._load_member(zf, f"chunk_{c:06d}.lines.npy")
+                regions = self._load_member(zf, f"chunk_{c:06d}.regions.npy")
+                if len(lines) != len(regions):
+                    raise ValueError(
+                        f"{self.path}: chunk {c} has mismatched "
+                        "lines/regions lengths"
+                    )
+                for lo in range(0, len(lines), max_records):
+                    hi = min(lo + max_records, len(lines))
+                    yield TraceChunk(
+                        addrs=lines[lo:hi] * self.line_bytes,
+                        regions=regions[lo:hi],
+                    )
+
+    def verify_fingerprint(self) -> bool:
+        """Re-hash the chunk payload against the header fingerprint.
+
+        One decompression pass checks everything: the content hash and
+        that the chunks really hold the declared record count.
+        """
+        h_lines, h_regions = _rtrace_fingerprint_hashers()
+        total = 0
+        with zipfile.ZipFile(self.path) as zf:
+            for c in range(self.n_chunks):
+                lines = self._load_member(zf, f"chunk_{c:06d}.lines.npy")
+                regions = self._load_member(zf, f"chunk_{c:06d}.regions.npy")
+                if len(lines) != len(regions):
+                    return False
+                total += len(lines)
+                h_lines.update(
+                    np.ascontiguousarray(lines, dtype=np.int64).tobytes()
+                )
+                h_regions.update(
+                    np.ascontiguousarray(regions, dtype=np.int32).tobytes()
+                )
+        if total != self.n_records:
+            return False
+        recomputed = _rtrace_fingerprint(h_lines, h_regions, self.line_bytes)
+        return recomputed == self.fingerprint
+
+
+# ----------------------------------------------------------------------
+# Writers (streamed; any source -> any interchange format)
+# ----------------------------------------------------------------------
+
+
+def _write_lackey(path: Path, source: TraceSource, max_records: int) -> None:
+    with open(path, "w") as f:
+        for chunk in source.chunks(max_records):
+            f.writelines(
+                f" L {addr:08X},{source.line_bytes}\n"
+                for addr in chunk.addrs.tolist()
+            )
+
+
+def _write_mtrace(path: Path, source: TraceSource, max_records: int) -> None:
+    try:
+        with open(path, "wb") as f:
+            f.write(_MTRACE_MAGIC)
+            # Explicit little-endian, like the record body: native order
+            # would corrupt the header on big-endian hosts.
+            f.write(np.uint64(source.n_records).astype("<u8").tobytes())
+            instr = source.instructions
+            f.write(
+                np.float64(instr if instr is not None else np.nan)
+                .astype("<f8")
+                .tobytes()
+            )
+            n_written = 0
+            for chunk in source.chunks(max_records):
+                records = np.zeros(len(chunk), dtype=MTRACE_RECORD)
+                records["addr"] = chunk.addrs.astype(np.uint64)
+                records["size"] = source.line_bytes
+                records.tofile(f)
+                n_written += len(chunk)
+        if n_written != source.n_records:
+            raise ValueError(
+                f"source yielded {n_written} records but declared "
+                f"{source.n_records}; refusing to leave a lying header"
+            )
+    except BaseException:
+        # Never leave a header that lies about its body.
+        path.unlink(missing_ok=True)
+        raise
+
+
+def _write_csv(path: Path, source: TraceSource, max_records: int) -> None:
+    with open(path, "w") as f:
+        wrote_header = False
+        for chunk in source.chunks(max_records):
+            if not wrote_header:
+                f.write(
+                    "addr,region\n" if chunk.regions is not None else "addr\n"
+                )
+                wrote_header = True
+            if chunk.regions is not None:
+                f.writelines(
+                    f"{a},{r}\n"
+                    for a, r in zip(
+                        chunk.addrs.tolist(), chunk.regions.tolist()
+                    )
+                )
+            else:
+                f.writelines(f"{a}\n" for a in chunk.addrs.tolist())
+        if not wrote_header:
+            f.write("addr\n")
+
+
+def _write_jsonl(path: Path, source: TraceSource, max_records: int) -> None:
+    with open(path, "w") as f:
+        for chunk in source.chunks(max_records):
+            if chunk.regions is not None:
+                f.writelines(
+                    f'{{"addr": {a}, "region": {r}}}\n'
+                    for a, r in zip(
+                        chunk.addrs.tolist(), chunk.regions.tolist()
+                    )
+                )
+            else:
+                f.writelines(
+                    f'{{"addr": {a}}}\n' for a in chunk.addrs.tolist()
+                )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+#: Reader registry: format name -> TraceSource class.
+FORMATS: dict[str, type] = {}
+
+#: Writer registry: format name -> write function.  ``rtrace`` is not
+#: here because producing one runs the full attribution pipeline — see
+#: :func:`repro.ingest.pipeline.convert_to_rtrace`.
+WRITERS: dict[str, Callable[[Path, TraceSource, int], None]] = {
+    "lackey": _write_lackey,
+    "mtrace": _write_mtrace,
+    "csv": _write_csv,
+    "jsonl": _write_jsonl,
+}
+
+
+def register_format(cls: type) -> type:
+    """Register a reader class (usable as a decorator by plugins)."""
+    for attr in ("name", "extensions", "sniff", "chunks"):
+        if not hasattr(cls, attr):
+            raise TypeError(f"{cls.__name__} is missing {attr!r}")
+    FORMATS[cls.name] = cls
+    return cls
+
+
+for _cls in (LackeySource, MTraceSource, CSVSource, JSONLSource, RTraceSource):
+    register_format(_cls)
+
+
+def detect_format(path: str | Path) -> str:
+    """Resolve a trace file's format by extension, then content sniff."""
+    path = Path(path)
+    suffix = path.suffix.lower()
+    for name, cls in FORMATS.items():
+        if suffix in cls.extensions:
+            return name
+    try:
+        with path.open("rb") as f:
+            head = f.read(4096)
+    except OSError as exc:
+        raise ValueError(f"cannot read {path}: {exc}") from None
+    # Binary magics are unambiguous; try them before text heuristics.
+    for name in ("rtrace", "mtrace", "jsonl", "lackey", "csv"):
+        cls = FORMATS.get(name)
+        if cls is not None and cls.sniff(head):
+            return name
+    raise ValueError(
+        f"cannot detect trace format of {path}; "
+        f"pass one of: {', '.join(sorted(FORMATS))}"
+    )
+
+
+def open_trace_source(path: str | Path, fmt: str | None = None) -> TraceSource:
+    """Open a trace file as a :class:`TraceSource`.
+
+    Args:
+        path: trace file.
+        fmt: format name; auto-detected when omitted.
+    """
+    if fmt is None:
+        fmt = detect_format(path)
+    try:
+        cls = FORMATS[fmt]
+    except KeyError:
+        raise ValueError(
+            f"unknown trace format {fmt!r}; known: {', '.join(sorted(FORMATS))}"
+        ) from None
+    return cls(path)
+
+
+def write_trace_file(
+    path: str | Path,
+    source: TraceSource,
+    fmt: str | None = None,
+    max_records: int = DEFAULT_CHUNK_RECORDS,
+) -> None:
+    """Export a source to an interchange format, streaming chunk by chunk.
+
+    Args:
+        path: destination file.
+        source: any :class:`TraceSource` (e.g. :class:`ArraySource`
+            wrapping a built trace).
+        fmt: one of :data:`WRITERS`; inferred from the extension when
+            omitted.
+        max_records: chunk size to stream with.
+    """
+    path = Path(path)
+    if fmt is None:
+        suffix = path.suffix.lower()
+        for name, cls in FORMATS.items():
+            if suffix in cls.extensions and name in WRITERS:
+                fmt = name
+                break
+        else:
+            raise ValueError(
+                f"cannot infer writable format from {path.name!r}; "
+                f"pass one of: {', '.join(sorted(WRITERS))}"
+            )
+    try:
+        writer = WRITERS[fmt]
+    except KeyError:
+        raise ValueError(
+            f"no writer for format {fmt!r}; known: {', '.join(sorted(WRITERS))}"
+        ) from None
+    writer(path, source, max_records)

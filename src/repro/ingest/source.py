@@ -1,0 +1,150 @@
+"""The chunk-iterator protocol external trace readers implement.
+
+A :class:`TraceSource` is a *sized, replayable* stream of memory
+accesses: it knows how many records it holds, and :meth:`chunks` can be
+called repeatedly, each call yielding the whole trace again as bounded
+:class:`TraceChunk` batches.  Everything downstream — region
+attribution, out-of-core profiling, format conversion — consumes this
+protocol, so adding a trace format means writing one reader class and
+registering it (see :mod:`repro.ingest.formats`), exactly the pluggable
+source/pipeline idiom of instrumentation frameworks.
+
+Addresses are *byte* addresses: line granularity is a consumer decision
+(``addr // line_bytes``), and region attribution needs byte-accurate
+ranges.  Sources that are natively line-granular (``.rtrace``) expose
+``line * line_bytes`` so the line ids survive a round trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["ArraySource", "TraceChunk", "TraceSource", "DEFAULT_CHUNK_RECORDS"]
+
+#: Default records per chunk (~16 MB of int64 addresses).
+DEFAULT_CHUNK_RECORDS = 1 << 21
+
+
+@dataclass
+class TraceChunk:
+    """One bounded batch of trace records, in access order.
+
+    Attributes:
+        addrs: int64 byte addresses.
+        regions: int32 region id per access, or None when the source
+            carries no attribution (raw address traces).
+    """
+
+    addrs: np.ndarray
+    regions: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.addrs = np.ascontiguousarray(self.addrs, dtype=np.int64)
+        if len(self.addrs) and int(self.addrs.min()) < 0:
+            raise ValueError(
+                "trace chunk contains negative addresses "
+                "(corrupt capture or >2^63 address misread)"
+            )
+        if self.regions is not None:
+            self.regions = np.ascontiguousarray(self.regions, dtype=np.int32)
+            if len(self.regions) != len(self.addrs):
+                raise ValueError("addrs and regions must have equal length")
+            if len(self.regions) and int(self.regions.min()) < 0:
+                # Fail at ingest, not at first simulation of a
+                # registered archive.
+                raise ValueError(
+                    "trace chunk contains negative region ids"
+                )
+
+    def __len__(self) -> int:
+        return len(self.addrs)
+
+
+@runtime_checkable
+class TraceSource(Protocol):
+    """What every pluggable trace reader provides.
+
+    Attributes:
+        n_records: total data records (known up front; text formats
+            pre-scan once on open so interval windowing and progress
+            reporting never need a second guess).
+        line_bytes: cache-line size the trace should be profiled at.
+        instructions: total instructions the trace represents, or None
+            when the capture carries no instruction information.
+        region_names: region id -> name for attributed sources ({} when
+            unattributed).
+    """
+
+    n_records: int
+    line_bytes: int
+    instructions: float | None
+    region_names: dict[int, str]
+
+    def chunks(
+        self, max_records: int = DEFAULT_CHUNK_RECORDS
+    ) -> Iterator[TraceChunk]:
+        """Yield the whole trace as chunks of at most ``max_records``."""
+        ...
+
+
+class ArraySource:
+    """An in-memory :class:`TraceSource` over address/region arrays.
+
+    The adapter between the in-process world and the streaming one: it
+    wraps a built :class:`~repro.workloads.trace.Trace` (or raw arrays)
+    so exporters and the out-of-core profiler can be driven — and
+    differentially tested — against in-memory data at any chunk size.
+    """
+
+    def __init__(
+        self,
+        addrs: np.ndarray,
+        regions: np.ndarray | None = None,
+        instructions: float | None = None,
+        line_bytes: int = 64,
+        region_names: dict[int, str] | None = None,
+    ) -> None:
+        self._addrs = np.ascontiguousarray(addrs, dtype=np.int64)
+        self._regions = (
+            np.ascontiguousarray(regions, dtype=np.int32)
+            if regions is not None
+            else None
+        )
+        if self._regions is not None and len(self._regions) != len(self._addrs):
+            raise ValueError("addrs and regions must have equal length")
+        self.n_records = len(self._addrs)
+        self.line_bytes = line_bytes
+        self.instructions = instructions
+        self.region_names = dict(region_names or {})
+
+    @classmethod
+    def from_trace(cls, trace) -> "ArraySource":
+        """Wrap a :class:`~repro.workloads.trace.Trace` (line-granular).
+
+        Addresses are the line base addresses, so re-ingesting at the
+        same ``line_bytes`` reproduces the trace exactly.
+        """
+        return cls(
+            addrs=trace.lines * trace.line_bytes,
+            regions=trace.regions,
+            instructions=trace.instructions,
+            line_bytes=trace.line_bytes,
+            region_names=dict(trace.region_names),
+        )
+
+    def chunks(
+        self, max_records: int = DEFAULT_CHUNK_RECORDS
+    ) -> Iterator[TraceChunk]:
+        if max_records <= 0:
+            raise ValueError(f"max_records must be positive, got {max_records}")
+        for lo in range(0, self.n_records, max_records):
+            hi = min(lo + max_records, self.n_records)
+            yield TraceChunk(
+                addrs=self._addrs[lo:hi],
+                regions=(
+                    self._regions[lo:hi] if self._regions is not None else None
+                ),
+            )

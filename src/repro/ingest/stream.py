@@ -1,0 +1,405 @@
+"""Out-of-core stack-distance profiling over :class:`TraceSource` chunks.
+
+:class:`StreamingStackProfiler` produces the same per-region,
+per-interval miss curves as the in-memory
+:class:`~repro.curves.reuse.StackDistanceProfiler` — bit-identical, for
+any chunk size — while holding only one chunk plus per-region
+footprint-sized state in memory.  That turns profiling from "load the
+trace, then profile" into "profile while reading", which is what makes
+multi-gigabyte external captures tractable.
+
+How the chunk decomposition stays exact
+---------------------------------------
+The stack distance of an access is the number of distinct same-region
+lines touched since that line's previous occurrence.  Split a trace at
+any chunk boundary and classify each access in the current chunk:
+
+- *locally hot* (previous occurrence inside the chunk): the whole reuse
+  window lies inside the chunk, so the existing vectorized engine
+  (:func:`~repro.curves.reuse._prev_occurrence` +
+  :func:`~repro.curves.reuse._distances_from_prev`) computes it from
+  the chunk alone.
+- *locally cold, known line* (previous occurrence in an earlier chunk):
+  the distinct lines in the window split into three exactly-countable
+  groups.  With ``p`` the line's carried last position and ``i`` the
+  access position::
+
+      distance = A + B - C
+      A = distinct lines touched in this chunk before i   (any line)
+      B = carried lines whose last position is > p        (stale markers)
+      C = carried lines with last position > p that were   (counted in
+          re-touched in this chunk before i                both A and B)
+
+  ``A`` is a per-segment running count of chunk-first-occurrences; ``B``
+  is a searchsorted against the sorted carried positions; and because
+  the ``C`` queries *are* the chunk-first-occurrences of carried lines,
+  ``C`` reduces to an inversion count over their carried positions —
+  resolved by the same wavelet dominance counter the in-memory engine
+  uses.
+- *locally cold, unknown line*: a true cold miss.
+
+The carried state per region is exactly (line -> last sampled position)
+as two line-sorted arrays; histograms accumulate per (region, interval)
+as integer bucket counts (:func:`~repro.curves.reuse.
+distance_bucket_counts`), so finalization shares the in-memory float
+pipeline verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.curves.miss_curve import MissCurve
+from repro.curves.reuse import (
+    StackDistanceProfiler,
+    _distances_from_prev,
+    _dominance_counts,
+    _prev_occurrence,
+    distance_bucket_counts,
+    miss_curve_from_bucket_counts,
+)
+from repro.ingest.source import DEFAULT_CHUNK_RECORDS, TraceSource
+from repro.sim.profiling import relabel_regions
+
+__all__ = ["StreamingStackProfiler"]
+
+
+@dataclass
+class _RegionState:
+    """Carried cross-chunk state for one region (sampled stream).
+
+    ``lines`` is sorted ascending; ``pos`` holds each line's last
+    sampled global position, aligned with ``lines``.
+    """
+
+    lines: np.ndarray
+    pos: np.ndarray
+
+
+class StreamingStackProfiler(StackDistanceProfiler):
+    """Streams a :class:`TraceSource` through stack-distance profiling.
+
+    Construction matches :class:`~repro.curves.reuse.
+    StackDistanceProfiler`; :meth:`profile_source` replaces
+    :meth:`~repro.curves.reuse.StackDistanceProfiler.profile` for
+    sources too large to materialize.
+    """
+
+    def profile_source(
+        self,
+        source: TraceSource,
+        n_intervals: int = 1,
+        chunk_records: int = DEFAULT_CHUNK_RECORDS,
+        instructions: float | None = None,
+        mapping: dict[int, int] | None = None,
+    ) -> dict[int, list[MissCurve]]:
+        """Profile a source into per-region, per-interval miss curves.
+
+        Args:
+            source: the trace to profile (addresses are divided by this
+                profiler's ``line_bytes``; sources without regions are
+                profiled as a single region 0).
+            n_intervals: number of equal access-index windows.
+            chunk_records: records per streamed chunk (the out-of-core
+                memory bound; any value yields identical output).
+            instructions: total instruction count; defaults to the
+                source's own.  Required when the source has none.
+            mapping: optional region id -> VC id relabel applied before
+                profiling (ids missing from the mapping fall into VC 0,
+                matching :func:`repro.sim.profiling.profile_vcs`).
+
+        Returns:
+            Mapping ``region id -> [MissCurve, ...]``, bit-identical to
+            the in-memory engine over the materialized trace.
+        """
+        if instructions is None:
+            instructions = source.instructions
+        if instructions is None or instructions <= 0:
+            raise ValueError(
+                "source carries no instruction count; pass instructions="
+            )
+        n_total = source.n_records
+        bounds = np.linspace(0, n_total, n_intervals + 1).astype(np.int64)
+        scale = float(1 << self.sample_shift)
+
+        state: dict[int, _RegionState] = {}
+        acc_counts: dict[int, np.ndarray] = {}
+        hists: dict[int, np.ndarray] = {}
+        colds: dict[int, np.ndarray] = {}
+        sampled: dict[int, np.ndarray] = {}
+
+        offset = 0
+        for chunk in source.chunks(chunk_records):
+            n = len(chunk)
+            if n == 0:
+                continue
+            if offset + n > n_total:
+                raise ValueError(
+                    f"source yielded more than its declared "
+                    f"{n_total} records"
+                )
+            lines = chunk.addrs // self.line_bytes
+            if chunk.regions is None:
+                regions = np.zeros(n, dtype=np.int32)
+            else:
+                regions = chunk.regions
+            if mapping is not None:
+                regions = relabel_regions(regions, mapping)
+            self._count_accesses(
+                regions, offset, bounds, n_intervals, acc_counts
+            )
+            self._process_chunk(
+                lines,
+                regions,
+                offset,
+                bounds,
+                n_intervals,
+                scale,
+                state,
+                hists,
+                colds,
+                sampled,
+            )
+            offset += n
+        if offset != n_total:
+            raise ValueError(
+                f"source yielded {offset} records but declared {n_total}"
+            )
+        return self._finalize(
+            acc_counts, hists, colds, sampled, instructions, n_intervals, scale
+        )
+
+    # ------------------------------------------------------------------
+    # Per-chunk stages
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _count_accesses(
+        regions: np.ndarray,
+        offset: int,
+        bounds: np.ndarray,
+        n_intervals: int,
+        acc_counts: dict[int, np.ndarray],
+    ) -> None:
+        """Accumulate unsampled per-(region, interval) access counts."""
+        n = len(regions)
+        t0 = int(np.searchsorted(bounds, offset, side="right")) - 1
+        t1 = int(np.searchsorted(bounds, offset + n - 1, side="right")) - 1
+        for t in range(t0, t1 + 1):
+            lo = max(0, int(bounds[t]) - offset)
+            hi = min(n, int(bounds[t + 1]) - offset)
+            ids, counts = np.unique(regions[lo:hi], return_counts=True)
+            for rid, c in zip(ids.tolist(), counts.tolist()):
+                row = acc_counts.get(rid)
+                if row is None:
+                    row = acc_counts[rid] = np.zeros(n_intervals, dtype=np.int64)
+                row[t] += c
+
+    def _process_chunk(
+        self,
+        lines: np.ndarray,
+        regions: np.ndarray,
+        offset: int,
+        bounds: np.ndarray,
+        n_intervals: int,
+        scale: float,
+        state: dict[int, _RegionState],
+        hists: dict[int, np.ndarray],
+        colds: dict[int, np.ndarray],
+        sampled: dict[int, np.ndarray],
+    ) -> None:
+        keep = self._sample_mask(lines)
+        kept = np.nonzero(keep)[0]
+        if kept.size == 0:
+            return
+        # Group sampled accesses by region, preserving stream order.
+        gorder = np.argsort(regions[kept], kind="stable")
+        g_src = kept[gorder]
+        g_lines = np.ascontiguousarray(lines[g_src])
+        g_regions = regions[g_src]
+        g_pos = offset + g_src  # global positions, ascending per segment
+        rids = np.unique(g_regions)
+        seg_starts = np.searchsorted(g_regions, rids, side="left")
+        seg_ends = np.searchsorted(g_regions, rids, side="right")
+        base = np.repeat(seg_starts, seg_ends - seg_starts)
+
+        # Locally-hot distances from the chunk alone.
+        prev = _prev_occurrence(g_lines, g_regions)
+        dist = _distances_from_prev(prev, base)
+        cold_local = prev < 0
+        # A: distinct lines touched earlier in the same chunk segment.
+        excl = np.cumsum(cold_local) - cold_local
+        distinct_before = excl - excl[base]
+
+        for r, rid in enumerate(rids.tolist()):
+            s, e = int(seg_starts[r]), int(seg_ends[r])
+            st = state.get(rid)
+            seg_cold = s + np.nonzero(cold_local[s:e])[0]
+            if st is not None and seg_cold.size:
+                self._resolve_carried(
+                    st, g_lines, seg_cold, distinct_before, dist
+                )
+            self._update_state(
+                state, rid, st, g_lines[s:e], g_pos[s:e]
+            )
+            self._accumulate(
+                rid,
+                dist[s:e],
+                g_pos[s:e],
+                bounds,
+                n_intervals,
+                scale,
+                hists,
+                colds,
+                sampled,
+            )
+
+    def _resolve_carried(
+        self,
+        st: _RegionState,
+        g_lines: np.ndarray,
+        seg_cold: np.ndarray,
+        distinct_before: np.ndarray,
+        dist: np.ndarray,
+    ) -> None:
+        """Fill distances for chunk-cold accesses whose line is carried."""
+        q = g_lines[seg_cold]
+        loc = np.searchsorted(st.lines, q)
+        inb = loc < len(st.lines)
+        hit = np.zeros(len(q), dtype=bool)
+        hit[inb] = st.lines[loc[inb]] == q[inb]
+        if not hit.any():
+            return
+        hit_idx = seg_cold[hit]
+        p = st.pos[loc[hit]]  # carried position per query, in stream order
+        a = distinct_before[hit_idx]
+        pos_sorted = np.sort(st.pos)
+        b = len(pos_sorted) - np.searchsorted(pos_sorted, p, side="right")
+        # C: inversions among the carried positions of re-touched lines —
+        # carried lines with a later marker that were re-touched earlier.
+        counts = _dominance_counts(p, np.argsort(p, kind="stable"))
+        c = np.arange(len(p), dtype=np.int64) - counts
+        dist[hit_idx] = a + b - c
+
+    @staticmethod
+    def _update_state(
+        state: dict[int, _RegionState],
+        rid: int,
+        st: _RegionState | None,
+        seg_lines: np.ndarray,
+        seg_pos: np.ndarray,
+    ) -> None:
+        """Move touched lines' markers to their last position this chunk."""
+        o = np.argsort(seg_lines, kind="stable")
+        sl = seg_lines[o]
+        last = np.ones(len(sl), dtype=bool)
+        if len(sl) > 1:
+            last[:-1] = sl[1:] != sl[:-1]
+        new_lines = sl[last]
+        new_pos = seg_pos[o][last]
+        if st is None:
+            state[rid] = _RegionState(lines=new_lines, pos=new_pos)
+            return
+        loc = np.searchsorted(st.lines, new_lines)
+        inb = loc < len(st.lines)
+        dup = np.zeros(len(new_lines), dtype=bool)
+        dup[inb] = st.lines[loc[inb]] == new_lines[inb]
+        keep_old = np.ones(len(st.lines), dtype=bool)
+        keep_old[loc[dup]] = False
+        # Linear merge of two sorted distinct-line arrays (np.insert
+        # shifts once for all insertion points): O(F + chunk) per chunk,
+        # not a footprint-sized argsort.
+        old_lines = st.lines[keep_old]
+        idx = np.searchsorted(old_lines, new_lines)
+        state[rid] = _RegionState(
+            lines=np.insert(old_lines, idx, new_lines),
+            pos=np.insert(st.pos[keep_old], idx, new_pos),
+        )
+
+    def _accumulate(
+        self,
+        rid: int,
+        seg_dist: np.ndarray,
+        seg_pos: np.ndarray,
+        bounds: np.ndarray,
+        n_intervals: int,
+        scale: float,
+        hists: dict[int, np.ndarray],
+        colds: dict[int, np.ndarray],
+        sampled: dict[int, np.ndarray],
+    ) -> None:
+        """Add one segment's distances into the interval accumulators."""
+        hist = hists.get(rid)
+        if hist is None:
+            hist = hists[rid] = np.zeros(
+                (n_intervals, self.n_chunks + 2), dtype=np.int64
+            )
+            colds[rid] = np.zeros(n_intervals, dtype=np.int64)
+            sampled[rid] = np.zeros(n_intervals, dtype=np.int64)
+        # Positions ascend within a segment, so each interval is a slice.
+        w = np.searchsorted(seg_pos, bounds, side="left")
+        for t in range(n_intervals):
+            lo, hi = int(w[t]), int(w[t + 1])
+            if lo == hi:
+                continue
+            h, n_cold, n_acc = distance_bucket_counts(
+                seg_dist[lo:hi],
+                self.chunk_bytes,
+                self.n_chunks,
+                self.line_bytes,
+                distance_scale=scale,
+            )
+            hist[t] += h
+            colds[rid][t] += n_cold
+            sampled[rid][t] += n_acc
+
+    # ------------------------------------------------------------------
+    # Finalization (shared float pipeline with the in-memory engine)
+    # ------------------------------------------------------------------
+    def _finalize(
+        self,
+        acc_counts: dict[int, np.ndarray],
+        hists: dict[int, np.ndarray],
+        colds: dict[int, np.ndarray],
+        sampled: dict[int, np.ndarray],
+        instructions: float,
+        n_intervals: int,
+        scale: float,
+    ) -> dict[int, list[MissCurve]]:
+        instr_per_interval = instructions / n_intervals
+        out: dict[int, list[MissCurve]] = {}
+        for rid in sorted(acc_counts):
+            curves: list[MissCurve] = []
+            for t in range(n_intervals):
+                n_acc = int(acc_counts[rid][t])
+                n_samp = int(sampled[rid][t]) if rid in sampled else 0
+                if n_samp > 0:
+                    curve = miss_curve_from_bucket_counts(
+                        hists[rid][t],
+                        int(colds[rid][t]),
+                        n_samp,
+                        self.chunk_bytes,
+                        self.n_chunks,
+                        instr_per_interval,
+                        scale=scale,
+                    )
+                    # Same unsampled-access rescale as the in-memory
+                    # engine, in the same operation order.
+                    ratio = n_acc / curve.accesses
+                    curve = MissCurve(
+                        misses=curve.misses * ratio,
+                        chunk_bytes=curve.chunk_bytes,
+                        accesses=float(n_acc),
+                        instructions=curve.instructions,
+                    )
+                else:
+                    curve = MissCurve(
+                        misses=np.full(self.n_chunks + 1, float(n_acc)),
+                        chunk_bytes=self.chunk_bytes,
+                        accesses=float(n_acc),
+                        instructions=instr_per_interval,
+                    )
+                curves.append(curve)
+            out[int(rid)] = curves
+        return out

@@ -27,7 +27,13 @@ import numpy as np
 
 from repro.mem.address_space import PAGE_SIZE, POOL_NONE, AddressSpace
 
-__all__ = ["Allocation", "HeapAllocator", "PoolAllocator", "callpoint_id"]
+__all__ = [
+    "Allocation",
+    "HeapAllocator",
+    "PoolAllocator",
+    "allocation_ranges",
+    "callpoint_id",
+]
 
 #: Allocations of at least this size get their own page run.
 _LARGE_THRESHOLD = PAGE_SIZE
@@ -78,6 +84,42 @@ class Allocation:
     def end(self) -> int:
         """One past the last byte."""
         return self.base + self.size
+
+
+def allocation_ranges(
+    allocs,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sorted, disjoint (base, end, callpoint) arrays for live allocations.
+
+    This is the address-range table region attribution is built from
+    (``repro.ingest.attribute``).  Two live allocations overlapping is
+    not a tie to break — it means the allocation log is corrupt or two
+    logs were merged — so it raises instead of letting the last writer
+    silently win the region mapping.
+
+    Args:
+        allocs: iterable of :class:`Allocation`.
+
+    Returns:
+        ``(starts, ends, callpoints)`` — int64 base/end addresses sorted
+        by base, and the int64 callpoint id of each range.
+    """
+    allocs = sorted(allocs, key=lambda a: a.base)
+    starts = np.array([a.base for a in allocs], dtype=np.int64)
+    ends = np.array([a.end for a in allocs], dtype=np.int64)
+    callpoints = np.array([a.callpoint for a in allocs], dtype=np.int64)
+    if len(allocs) > 1:
+        overlap = np.nonzero(ends[:-1] > starts[1:])[0]
+        if overlap.size:
+            i = int(overlap[0])
+            a, b = allocs[i], allocs[i + 1]
+            raise ValueError(
+                f"live allocations overlap: "
+                f"[{hex(a.base)}, {hex(a.end)}) (callpoint {a.callpoint}) and "
+                f"[{hex(b.base)}, {hex(b.end)}) (callpoint {b.callpoint}); "
+                "refusing to build a last-writer-wins attribution table"
+            )
+    return starts, ends, callpoints
 
 
 @dataclass

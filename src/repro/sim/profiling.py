@@ -20,7 +20,25 @@ from repro.curves.miss_curve import MissCurve
 from repro.curves.reuse import StackDistanceProfiler
 from repro.workloads.trace import Trace
 
-__all__ = ["profile_vcs", "cache_dir", "clear_cache"]
+__all__ = ["profile_vcs", "cache_dir", "clear_cache", "relabel_regions"]
+
+
+def relabel_regions(
+    regions: np.ndarray, mapping: dict[int, int]
+) -> np.ndarray:
+    """Relabel region ids with VC ids via a dense LUT.
+
+    Ids missing from the mapping fall into VC 0 — the convention both
+    the in-memory path (:func:`profile_vcs`) and the streaming path
+    (:meth:`repro.ingest.stream.StreamingStackProfiler.profile_source`)
+    share.
+    """
+    max_rid = int(regions.max()) if len(regions) else 0
+    lut = np.zeros(max_rid + 1, dtype=np.int32)
+    for rid, vc in mapping.items():
+        if 0 <= rid <= max_rid:
+            lut[rid] = vc
+    return lut[regions]
 
 _ENV_CACHE = "REPRO_PROFILE_CACHE"
 
@@ -126,12 +144,7 @@ def profile_vcs(
             return cached
 
     # Relabel the trace's regions with VC ids.
-    max_rid = int(trace.regions.max()) if len(trace.regions) else 0
-    lut = np.zeros(max_rid + 1, dtype=np.int32)
-    for rid, vc in mapping.items():
-        if 0 <= rid <= max_rid:
-            lut[rid] = vc
-    vc_ids = lut[trace.regions]
+    vc_ids = relabel_regions(trace.regions, mapping)
     profiler = StackDistanceProfiler(
         chunk_bytes=chunk_bytes,
         n_chunks=n_chunks,

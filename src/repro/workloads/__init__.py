@@ -22,6 +22,9 @@ from repro.workloads.registry import (
     PBBS_APPS,
     SPEC_APPS,
     build_workload,
+    ingested_apps,
+    register_trace,
+    trace_dir,
 )
 from repro.workloads.trace import Trace, TraceBuilder, Workload
 
@@ -35,7 +38,10 @@ __all__ = [
     "TraceBuilder",
     "Workload",
     "build_workload",
+    "ingested_apps",
     "partition_graph",
+    "register_trace",
     "rmat_graph",
+    "trace_dir",
     "uniform_random_graph",
 ]

@@ -18,6 +18,33 @@ from repro.mem.allocator import Allocation, HeapAllocator
 __all__ = ["Trace", "TraceBuilder", "Workload", "interleave"]
 
 
+def _validated_addresses(arr, dtype, what: str) -> np.ndarray:
+    """Cast an address/id array, rejecting malformed input.
+
+    Ingestion makes malformed traces a real path: a float array here is
+    a parsing bug upstream (silently truncating it would alias distinct
+    addresses), and a negative value is a corrupt capture — both raise
+    instead of casting.  Empty arrays pass regardless of dtype (numpy
+    defaults ``[]`` to float64).
+    """
+    arr = np.asarray(arr)
+    if len(arr):
+        if arr.dtype.kind not in "iu":
+            raise ValueError(
+                f"{what} must be an integer array, got dtype {arr.dtype}"
+            )
+        if int(arr.min()) < 0:
+            raise ValueError(f"{what} must be non-negative")
+        if int(arr.max()) > np.iinfo(dtype).max:
+            # E.g. kernel-space uint64 addresses >= 2^63 would wrap
+            # negative in the cast below.
+            raise ValueError(
+                f"{what} exceed {np.dtype(dtype).name} range "
+                f"(max {int(arr.max())})"
+            )
+    return np.ascontiguousarray(arr, dtype=dtype)
+
+
 @dataclass
 class Trace:
     """An LLC access trace.
@@ -37,8 +64,8 @@ class Trace:
     region_names: dict[int, str] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        self.lines = np.ascontiguousarray(self.lines, dtype=np.int64)
-        self.regions = np.ascontiguousarray(self.regions, dtype=np.int32)
+        self.lines = _validated_addresses(self.lines, np.int64, "lines")
+        self.regions = _validated_addresses(self.regions, np.int32, "regions")
         if len(self.lines) != len(self.regions):
             raise ValueError("lines and regions must have equal length")
         if self.instructions <= 0:
@@ -202,8 +229,13 @@ class TraceBuilder:
         return rid
 
     def access(self, addrs: np.ndarray, region: int) -> None:
-        """Append byte-address accesses for one region, in order."""
-        addrs = np.asarray(addrs, dtype=np.int64)
+        """Append byte-address accesses for one region, in order.
+
+        Rejects non-integer dtypes and negative addresses — external
+        trace ingestion feeds this path, so malformed input must fail
+        loudly instead of being silently cast.
+        """
+        addrs = _validated_addresses(addrs, np.int64, "addrs")
         if len(addrs) == 0:
             return
         if region not in self._region_names:
@@ -221,7 +253,7 @@ class TraceBuilder:
         if len(values) == 0:
             return
         region_ids = np.array(regions, dtype=np.int32)[src]
-        self._chunks.append(values.astype(np.int64))
+        self._chunks.append(_validated_addresses(values, np.int64, "addrs"))
         self._region_chunks.append(region_ids)
 
     @property

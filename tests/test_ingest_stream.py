@@ -1,0 +1,187 @@
+"""Streaming profiler vs in-memory engine: bit-identical, any chunk size.
+
+The acceptance contract of the out-of-core path: for every chunk size,
+interval count and sampling shift, :class:`StreamingStackProfiler`
+over a :class:`TraceSource` produces *exactly* the curves the in-memory
+:class:`StackDistanceProfiler` produces over the materialized arrays —
+same floats, not just close ones.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.curves.reuse import StackDistanceProfiler
+from repro.ingest import (
+    ArraySource,
+    RTraceSource,
+    StreamingStackProfiler,
+    convert_to_rtrace,
+)
+from repro.sim.profiling import profile_vcs
+from repro.workloads.trace import Trace
+
+
+def assert_identical(got, want):
+    assert sorted(got) == sorted(want)
+    for rid in want:
+        assert len(got[rid]) == len(want[rid])
+        for cg, cw in zip(got[rid], want[rid]):
+            assert np.array_equal(cg.misses, cw.misses)
+            assert cg.accesses == cw.accesses
+            assert cg.instructions == cw.instructions
+            assert cg.chunk_bytes == cw.chunk_bytes
+
+
+def run_both(lines, regions, instructions, n_intervals, chunk, shift):
+    mem = StackDistanceProfiler(
+        chunk_bytes=512, n_chunks=9, line_bytes=64, sample_shift=shift
+    )
+    want = mem.profile(lines, regions, instructions, n_intervals=n_intervals)
+    source = ArraySource(
+        addrs=lines * 64, regions=regions, instructions=instructions
+    )
+    got = StreamingStackProfiler(
+        chunk_bytes=512, n_chunks=9, line_bytes=64, sample_shift=shift
+    ).profile_source(source, n_intervals=n_intervals, chunk_records=chunk)
+    assert_identical(got, want)
+
+
+class TestStreamingEqualsInMemory:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        lines=st.lists(st.integers(0, 40), min_size=1, max_size=300),
+        regions=st.lists(st.integers(0, 4), min_size=1, max_size=300),
+        n_intervals=st.integers(1, 4),
+        chunk=st.integers(1, 64),
+    )
+    def test_any_chunk_size_exact(self, lines, regions, n_intervals, chunk):
+        n = min(len(lines), len(regions))
+        run_both(
+            np.array(lines[:n], dtype=np.int64),
+            np.array(regions[:n], dtype=np.int32),
+            float(n) * 11.0,
+            n_intervals,
+            chunk,
+            shift=0,
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        chunk=st.integers(1, 200),
+        shift=st.sampled_from([0, 2, 3]),
+        n_intervals=st.integers(1, 5),
+    )
+    def test_sampled_streams_exact(self, seed, chunk, shift, n_intervals):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 600))
+        run_both(
+            rng.integers(0, 80, n).astype(np.int64),
+            rng.integers(0, 5, n).astype(np.int32),
+            float(n) * 7.0,
+            n_intervals,
+            chunk,
+            shift,
+        )
+
+    def test_large_trace_small_chunks(self):
+        # Many chunk boundaries inside long reuse windows.
+        rng = np.random.default_rng(9)
+        n = 20_000
+        lines = rng.integers(0, 2000, n).astype(np.int64)
+        regions = rng.integers(0, 6, n).astype(np.int32)
+        run_both(lines, regions, n * 5.0, n_intervals=4, chunk=97, shift=0)
+
+    def test_chunk_size_one(self):
+        rng = np.random.default_rng(2)
+        n = 300
+        run_both(
+            rng.integers(0, 20, n).astype(np.int64),
+            rng.integers(0, 3, n).astype(np.int32),
+            n * 3.0,
+            n_intervals=3,
+            chunk=1,
+            shift=0,
+        )
+
+    def test_single_region_none_regions(self):
+        # Sources without regions profile as a single region 0.
+        rng = np.random.default_rng(4)
+        lines = rng.integers(0, 50, 500).astype(np.int64)
+        mem = StackDistanceProfiler(chunk_bytes=512, n_chunks=9)
+        want = mem.profile_combined(lines, 5000.0, n_intervals=2)
+        source = ArraySource(addrs=lines * 64, instructions=5000.0)
+        got = StreamingStackProfiler(
+            chunk_bytes=512, n_chunks=9
+        ).profile_source(source, n_intervals=2, chunk_records=37)
+        assert_identical({0: got[0]}, {0: want})
+
+
+class TestStreamingFromArchive:
+    def test_rtrace_streams_identically(self, tmp_path):
+        rng = np.random.default_rng(5)
+        n = 3000
+        trace = Trace(
+            lines=rng.integers(0, 300, n),
+            regions=rng.integers(0, 3, n).astype(np.int32),
+            instructions=n * 8.0,
+        )
+        path = tmp_path / "t.rtrace"
+        convert_to_rtrace(
+            ArraySource.from_trace(trace), path, max_records=271
+        )
+        mem = StackDistanceProfiler(chunk_bytes=1024, n_chunks=6)
+        want = mem.profile(
+            trace.lines, trace.regions, trace.instructions, n_intervals=3
+        )
+        got = StreamingStackProfiler(
+            chunk_bytes=1024, n_chunks=6
+        ).profile_source(RTraceSource(path), n_intervals=3, chunk_records=113)
+        assert_identical(got, want)
+
+    def test_mapping_matches_profile_vcs(self, tmp_path):
+        rng = np.random.default_rng(6)
+        n = 2000
+        trace = Trace(
+            lines=rng.integers(0, 200, n),
+            regions=rng.integers(0, 5, n).astype(np.int32),
+            instructions=n * 4.0,
+        )
+        mapping = {0: 0, 1: 1, 2: 1, 3: 0, 4: 2}
+        want = profile_vcs(
+            trace, mapping, chunk_bytes=512, n_chunks=8, n_intervals=2,
+            use_cache=False,
+        )
+        got = StreamingStackProfiler(
+            chunk_bytes=512, n_chunks=8, line_bytes=trace.line_bytes
+        ).profile_source(
+            ArraySource.from_trace(trace),
+            n_intervals=2,
+            chunk_records=173,
+            mapping=mapping,
+        )
+        assert_identical(got, want)
+
+
+class TestStreamingErrors:
+    def test_missing_instructions_rejected(self):
+        source = ArraySource(addrs=np.array([64, 128]))
+        with pytest.raises(ValueError, match="instruction"):
+            StreamingStackProfiler(chunk_bytes=512, n_chunks=4).profile_source(
+                source
+            )
+
+    def test_lying_source_rejected(self):
+        class Short(ArraySource):
+            def chunks(self, max_records=1 << 21):
+                it = super().chunks(max_records)
+                next(it)  # drop the first chunk
+                yield from it
+
+        source = Short(addrs=np.arange(100) * 64, instructions=1000.0)
+        with pytest.raises(ValueError, match="declared"):
+            StreamingStackProfiler(chunk_bytes=512, n_chunks=4).profile_source(
+                source, chunk_records=30
+            )

@@ -80,6 +80,93 @@ class TestTrace:
         assert self.make().slice_accesses(1, 1).apki == 0.0
 
 
+class TestTraceValidation:
+    """Malformed address input is a real path once ingestion exists."""
+
+    def test_negative_lines_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Trace(
+                lines=np.array([1, -2, 3]),
+                regions=np.zeros(3, dtype=np.int32),
+                instructions=1.0,
+            )
+
+    def test_float_lines_rejected(self):
+        with pytest.raises(ValueError, match="integer"):
+            Trace(
+                lines=np.array([1.5, 2.0]),
+                regions=np.zeros(2, dtype=np.int32),
+                instructions=1.0,
+            )
+
+    def test_float_regions_rejected(self):
+        with pytest.raises(ValueError, match="integer"):
+            Trace(
+                lines=np.array([1, 2]),
+                regions=np.array([0.0, 1.0]),
+                instructions=1.0,
+            )
+
+    def test_negative_regions_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Trace(
+                lines=np.array([1, 2]),
+                regions=np.array([0, -1]),
+                instructions=1.0,
+            )
+
+    def test_empty_float_arrays_allowed(self):
+        # numpy defaults [] to float64; empty traces stay constructible.
+        t = Trace(lines=np.array([]), regions=np.array([]), instructions=1.0)
+        assert len(t) == 0
+        assert t.lines.dtype == np.int64
+
+    def test_builder_rejects_negative_addresses(self):
+        tb = TraceBuilder()
+        r = tb.region("data")
+        with pytest.raises(ValueError, match="non-negative"):
+            tb.access(np.array([0, -64]), r)
+
+    def test_builder_rejects_float_addresses(self):
+        tb = TraceBuilder()
+        r = tb.region("data")
+        with pytest.raises(ValueError, match="integer"):
+            tb.access(np.array([0.5, 64.0]), r)
+
+    def test_builder_rejects_negative_interleaved(self):
+        tb = TraceBuilder()
+        ra = tb.region("a")
+        rb = tb.region("b")
+        with pytest.raises(ValueError, match="non-negative"):
+            tb.access_interleaved(
+                {ra: np.array([0, 64]), rb: np.array([-128])}
+            )
+
+    def test_uint_addresses_accepted(self):
+        tb = TraceBuilder()
+        r = tb.region("data")
+        tb.access(np.array([0, 64], dtype=np.uint64), r)
+        assert tb.n_accesses == 2
+
+    def test_uint64_overflow_rejected(self):
+        # Kernel-space addresses >= 2^63 would wrap negative in the
+        # int64 cast instead of staying validated.
+        with pytest.raises(ValueError, match="range"):
+            Trace(
+                lines=np.array([2**63], dtype=np.uint64),
+                regions=np.zeros(1, dtype=np.int32),
+                instructions=1.0,
+            )
+
+    def test_region_int32_overflow_rejected(self):
+        with pytest.raises(ValueError, match="range"):
+            Trace(
+                lines=np.array([1]),
+                regions=np.array([2**31]),
+                instructions=1.0,
+            )
+
+
 class TestInterleave:
     def test_proportional(self):
         a = np.array([1, 1, 1, 1])
