@@ -1,0 +1,132 @@
+"""Artifact-store micro-benchmark: zero-copy profile loads.
+
+Same contract as the other perf smokes: a CI gate with a conservative
+floor so slow runners don't flake, plus timings written as JSON
+(``benchmarks/perf_store_timings.json``, gitignored) for the CI
+artifact upload.  The gate models the campaign-worker steady state:
+the first worker pays one cold deserialize of a compressed legacy
+profile, every later worker re-opens the store's uncompressed payload
+and gets memory-mapped views — the OS page cache makes the repeat
+open O(header bytes), not O(payload bytes).
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.curves.miss_curve import MissCurve
+from repro.store import ArtifactStore, load_profile, publish_profile
+from repro.store.profiles import encode_payload
+
+#: 8 VCs x 4 intervals x (256k + 1) float64 points ~= 64 MiB of curves.
+N_VCS = 8
+N_INTERVALS = 4
+N_POINTS = 256 * 1024
+CHUNK_BYTES = 64 * 1024
+
+#: CI floor for repeat-open speedup over a cold compressed deserialize.
+#: Header parsing vs. inflating the whole payload measures in the
+#: hundreds on a dedicated core; 5x only catches an accidental fall
+#: off the mmap path (e.g. a compressed member sneaking into the store).
+FLOOR_SPEEDUP = 5.0
+
+TIMINGS_PATH = Path(__file__).parent / "perf_store_timings.json"
+
+
+def _record_timings(name, **fields):
+    data = {}
+    if TIMINGS_PATH.exists():
+        try:
+            data = json.loads(TIMINGS_PATH.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    data[name] = {k: round(v, 6) for k, v in fields.items()}
+    TIMINGS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _make_curves(seed=29):
+    rng = np.random.default_rng(seed)
+    curves = {}
+    for vc in range(N_VCS):
+        per_interval = []
+        for __ in range(N_INTERVALS):
+            drops = rng.random(N_POINTS)
+            misses = np.concatenate(
+                [[float(drops.sum() + 1.0)], (drops.sum() + 1.0) - np.cumsum(drops)]
+            )
+            per_interval.append(
+                MissCurve(
+                    misses=misses,
+                    chunk_bytes=CHUNK_BYTES,
+                    accesses=float(N_POINTS),
+                    instructions=4.0 * N_POINTS,
+                )
+            )
+        curves[vc] = per_interval
+    return curves
+
+
+class TestPerfStore:
+    def test_perf_smoke_memmap_repeat_load(self, tmp_path):
+        """CI gate: repeat store load >= FLOOR_SPEEDUP x cold deserialize."""
+        curves = _make_curves()
+        payload = encode_payload(curves)
+        payload_mb = sum(a.nbytes for a in payload.values()) / 1e6
+
+        # Cold path: the legacy cache layout — one compressed npz that
+        # must be inflated and copied in full on every load.
+        legacy = tmp_path / "legacy.npz"
+        with open(legacy, "wb") as fh:
+            np.savez_compressed(fh, **payload)
+        t_cold = float("inf")
+        for __ in range(3):
+            t0 = time.perf_counter()
+            loaded = load_profile(
+                legacy, chunk_bytes=CHUNK_BYTES, n_intervals=N_INTERVALS
+            )
+            t_cold = min(t_cold, time.perf_counter() - t0)
+        assert loaded is not None
+
+        # Store path: publish once (what profile_vcs does), then time the
+        # repeat open a second campaign worker performs.
+        store = ArtifactStore(tmp_path / "store")
+        fingerprint = "f" * 32
+        path = publish_profile(store, fingerprint, curves)
+        t_map = float("inf")
+        for __ in range(3):
+            t0 = time.perf_counter()
+            mapped = load_profile(
+                path, chunk_bytes=CHUNK_BYTES, n_intervals=N_INTERVALS
+            )
+            t_map = min(t_map, time.perf_counter() - t0)
+
+        # The speedup only counts if the load really is zero-copy: every
+        # curve a read-only view over the mapped archive, not a copy.
+        for per_interval in mapped.values():
+            for curve in per_interval:
+                assert not curve.misses.flags.writeable
+                assert curve.misses.base is not None
+        for vc, per_interval in loaded.items():
+            for got, want in zip(mapped[vc], per_interval):
+                assert np.array_equal(got.misses, want.misses)
+                assert got.accesses == want.accesses
+
+        speedup = t_cold / t_map
+        _record_timings(
+            "profile_load_64mb",
+            payload_mb=payload_mb,
+            cold_deserialize_s=t_cold,
+            memmap_load_s=t_map,
+            speedup=speedup,
+        )
+        print(
+            f"\n[perf] store profile load {payload_mb:.0f} MB: "
+            f"mapped {t_map*1e3:.1f} ms vs cold {t_cold*1e3:.1f} ms "
+            f"({speedup:.0f}x)"
+        )
+        assert speedup >= FLOOR_SPEEDUP, (
+            f"store loads fell to {speedup:.1f}x a cold deserialize "
+            f"(floor {FLOOR_SPEEDUP}x) — memmap fast path lost?"
+        )

@@ -12,6 +12,9 @@ Commands
   the ``mixes`` action runs resumable Fig-22-style mix grids.
 - ``ingest`` — convert/inspect/validate/register external memory traces
   (``repro.ingest``); registered traces become first-class workloads.
+- ``store`` — status/gc/verify/compact of the content-addressed
+  artifact store (``repro.store``) that holds cached profiles and
+  registered traces.
 """
 
 from __future__ import annotations
@@ -396,11 +399,9 @@ def _ingest_register(args: argparse.Namespace, ingest) -> int:
 
     root = args.trace_dir or os.environ.get(TRACE_DIR_ENV)
     if root is None:
-        print(
-            f"no trace directory: pass --trace-dir or set ${TRACE_DIR_ENV}",
-            file=sys.stderr,
-        )
-        return 2
+        # No legacy trace directory: publish into the artifact store
+        # (content-addressed, name bound through the store's index).
+        return _ingest_register_store(args, ingest)
     from pathlib import Path
 
     root = Path(root)
@@ -464,6 +465,76 @@ def _ingest_register(args: argparse.Namespace, ingest) -> int:
     print(f"registered {name!r} -> {dst}")
     print(f'run it with: python -m repro run {name}')
     return 0
+
+
+def _ingest_register_store(args: argparse.Namespace, ingest) -> int:
+    """Register a trace into the artifact store (no legacy trace dir)."""
+    import os
+    import zipfile
+    from pathlib import Path
+
+    from repro.store import ArtifactStore, publish_trace
+
+    name = args.name or Path(args.path).stem
+    if name in ALL_APPS:
+        print(
+            f"{name!r} is a built-in benchmark; pick another --name",
+            file=sys.stderr,
+        )
+        return 2
+    store = ArtifactStore()
+    fmt = args.format or ingest.detect_format(args.path)
+    if (
+        fmt == "rtrace"
+        and args.alloc_log is None
+        and not _pipeline_only_flags(args)
+    ):
+        # publish_trace validates the archive and rejects one without an
+        # instruction count before any copying happens.
+        fingerprint, dst = publish_trace(
+            store, args.path, name=name, inputs={"registered_as": name}
+        )
+    else:
+        staging = store.root / "tmp"
+        staging.mkdir(parents=True, exist_ok=True)
+        tmp = staging / f".{name}.{os.getpid()}.rtrace-tmp"
+        try:
+            source = _open_ingest_source(args, ingest)
+            header = ingest.convert_to_rtrace(
+                source,
+                tmp,
+                line_bytes=args.line_bytes,
+                instructions=args.instructions,
+                apki=args.apki,
+                dedup=args.dedup,
+                max_records=args.chunk_records,
+                compression=zipfile.ZIP_STORED,
+            )
+            if header["instructions"] is None:
+                print(
+                    "trace carries no instruction count; re-run with "
+                    "--instructions or --apki",
+                    file=sys.stderr,
+                )
+                return 2
+            fingerprint, dst = publish_trace(
+                store,
+                tmp,
+                name=name,
+                inputs={"registered_as": name, "source": str(args.path)},
+            )
+        finally:
+            tmp.unlink(missing_ok=True)
+    print(f"registered {name!r} -> {dst}")
+    print(f"run it with: python -m repro run {name}")
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    """Artifact-store maintenance (see :mod:`repro.store.cli`)."""
+    from repro.store.cli import cmd_store
+
+    return cmd_store(args)
 
 
 def _cmd_config(args: argparse.Namespace) -> int:
@@ -637,7 +708,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_ing.add_argument(
         "--trace-dir", default=None,
-        help="register: destination directory (default: $REPRO_TRACE_DIR)",
+        help=(
+            "register: legacy destination directory (default: "
+            "$REPRO_TRACE_DIR, else the artifact store)"
+        ),
+    )
+
+    p_store = sub.add_parser(
+        "store", help="artifact-store maintenance (profiles + traces)"
+    )
+    p_store.add_argument(
+        "action",
+        choices=["status", "gc", "verify", "compact"],
+        help=(
+            "summarize the store, remove garbage (temps, orphaned "
+            "provenance, dead names), check payload integrity, or "
+            "import legacy piles and rewrite payloads mappable"
+        ),
+    )
+    p_store.add_argument(
+        "--root",
+        default=None,
+        help="store root (default: $REPRO_STORE_DIR, else the checkout's "
+        ".repro_store)",
+    )
+    p_store.add_argument(
+        "--dry-run", action="store_true",
+        help="gc/compact: report what would change without touching disk",
     )
     return parser
 
@@ -651,6 +748,7 @@ _COMMANDS = {
     "config": _cmd_config,
     "campaign": _cmd_campaign,
     "ingest": _cmd_ingest,
+    "store": _cmd_store,
 }
 
 

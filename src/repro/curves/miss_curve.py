@@ -41,15 +41,23 @@ class MissCurve:
     _hull_cache: np.ndarray | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
-        self.misses = np.asarray(self.misses, dtype=np.float64)
-        if self.misses.ndim != 1 or len(self.misses) == 0:
+        m = np.asarray(self.misses, dtype=np.float64)
+        if m.ndim != 1 or len(m) == 0:
             raise ValueError("misses must be a non-empty 1-D array")
         if self.chunk_bytes <= 0:
             raise ValueError(f"chunk_bytes must be positive, got {self.chunk_bytes}")
+        # Already-normalized arrays (every curve a cache load hands back)
+        # pass through untouched, so memory-mapped payloads stay read-only
+        # zero-copy views.  Non-increasing + final value >= 0 implies all
+        # values >= 0, making accumulate-then-clip the identity.
+        if m[-1] >= 0.0 and bool((m[1:] <= m[:-1]).all()):
+            self.misses = m
+            return
         # Enforce monotonicity: profiling noise (sampling) can produce tiny
         # upticks; a miss curve is non-increasing by definition.
-        self.misses = np.minimum.accumulate(self.misses)
-        np.clip(self.misses, 0.0, None, out=self.misses)
+        m = np.minimum.accumulate(m)
+        np.clip(m, 0.0, None, out=m)
+        self.misses = m
 
     # ------------------------------------------------------------------
     # Construction helpers

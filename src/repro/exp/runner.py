@@ -58,16 +58,19 @@ def campaign_status(
     if not isinstance(store, ResultStore):
         store = ResultStore(store)
     jobs = campaign.jobs()
-    done = [j for j in jobs if j.key() in store]
-    pending = [j for j in jobs if j.key() not in store]
+    # Job keys hash the full job spec — compute each exactly once and
+    # derive every view from that, instead of re-fingerprinting the grid
+    # three times over.
+    done_flags = [(job, job.key() in store) for job in jobs]
+    n_done = sum(1 for __, is_done in done_flags if is_done)
     per_scheme: dict[str, dict[str, int]] = {}
-    for job in jobs:
+    for job, is_done in done_flags:
         row = per_scheme.setdefault(job.scheme, {"done": 0, "pending": 0})
-        row["done" if job.key() in store else "pending"] += 1
+        row["done" if is_done else "pending"] += 1
     return {
         "name": campaign.name,
         "total": len(jobs),
-        "done": len(done),
-        "pending": len(pending),
+        "done": n_done,
+        "pending": len(jobs) - n_done,
         "per_scheme": per_scheme,
     }

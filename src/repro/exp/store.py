@@ -78,9 +78,13 @@ class ResultStore:
             except json.JSONDecodeError:
                 continue  # truncated trailing line from a killed run
             key = entry.get("key")
-            if key:
-                self._records[key] = entry.get("result")
-                self._jobs[key] = entry.get("job", {})
+            if key is None:
+                continue
+            # A null result (a worker that died between claiming a job
+            # and producing output) must read back as an empty record,
+            # not None — records()/export_table call result.get(...).
+            self._records[key] = entry.get("result") or {}
+            self._jobs[key] = entry.get("job", {})
 
     def __contains__(self, key: str) -> bool:
         return key in self._records
@@ -107,6 +111,8 @@ class ResultStore:
 
     def add(self, key: str, record: dict, job=None) -> None:
         """Append one record and flush it to disk."""
+        if record is None:
+            record = {}  # same normalization replay applies to null lines
         job_dict = job.to_dict() if hasattr(job, "to_dict") else (job or {})
         entry = {"key": key, "job": job_dict, "result": record}
         line = json.dumps(entry, sort_keys=True)

@@ -441,12 +441,20 @@ class RTraceWriter:
     they are produced, so conversion runs in bounded memory.
     """
 
-    def __init__(self, path: str | Path, line_bytes: int) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        line_bytes: int,
+        compression: int = zipfile.ZIP_DEFLATED,
+    ) -> None:
         if line_bytes <= 0:
             raise ValueError(f"line_bytes must be positive, got {line_bytes}")
         self.path = Path(path)
         self.line_bytes = line_bytes
-        self._zf = zipfile.ZipFile(self.path, "w", zipfile.ZIP_DEFLATED)
+        # ZIP_STORED archives (the artifact store's layout) can be
+        # memory-mapped by readers; the content fingerprint is invariant
+        # to this choice.
+        self._zf = zipfile.ZipFile(self.path, "w", compression)
         self._n_chunks = 0
         self._n_records = 0
         self._h_lines, self._h_regions = _rtrace_fingerprint_hashers()
@@ -554,15 +562,54 @@ class RTraceSource:
                 io.BytesIO(f.read()), allow_pickle=False
             )
 
-    def chunks(
+    def _mapped(self):
+        """A :class:`~repro.store.mmapzip.MappedArchive`, or None.
+
+        Opened lazily and cached: stored (uncompressed) archives — the
+        artifact store's layout — serve chunk members as read-only
+        views over one shared mapping, so N workers materializing the
+        same trace share one page-cache copy.
+        """
+        if not hasattr(self, "_mapped_archive"):
+            from repro.store.mmapzip import MappedArchive
+
+            try:
+                self._mapped_archive = MappedArchive(self.path)
+            except (OSError, ValueError, zipfile.BadZipFile):
+                self._mapped_archive = None
+        return self._mapped_archive
+
+    def line_chunks(
         self, max_records: int = DEFAULT_CHUNK_RECORDS
-    ) -> Iterator[TraceChunk]:
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(lines, regions)`` exactly as stored, zero-copy if mappable.
+
+        The native archive stores line ids, not byte addresses;
+        consumers that want lines (``materialize``) read them here and
+        skip the ``line * bytes -> addr // bytes`` round trip
+        :meth:`chunks` performs for the generic protocol.  Deflated
+        members fall back to decompression per member.
+        """
         if max_records <= 0:
             raise ValueError(f"max_records must be positive, got {max_records}")
-        with zipfile.ZipFile(self.path) as zf:
+        mapped = self._mapped()
+        zf = None
+        try:
             for c in range(self.n_chunks):
-                lines = self._load_member(zf, f"chunk_{c:06d}.lines.npy")
-                regions = self._load_member(zf, f"chunk_{c:06d}.regions.npy")
+                lname = f"chunk_{c:06d}.lines.npy"
+                rname = f"chunk_{c:06d}.regions.npy"
+                lines = regions = None
+                if mapped is not None:
+                    try:
+                        lines = mapped.npy_member(lname)
+                        regions = mapped.npy_member(rname)
+                    except (KeyError, ValueError):
+                        lines = regions = None
+                if lines is None or regions is None:
+                    if zf is None:
+                        zf = zipfile.ZipFile(self.path)
+                    lines = self._load_member(zf, lname)
+                    regions = self._load_member(zf, rname)
                 if len(lines) != len(regions):
                     raise ValueError(
                         f"{self.path}: chunk {c} has mismatched "
@@ -570,10 +617,19 @@ class RTraceSource:
                     )
                 for lo in range(0, len(lines), max_records):
                     hi = min(lo + max_records, len(lines))
-                    yield TraceChunk(
-                        addrs=lines[lo:hi] * self.line_bytes,
-                        regions=regions[lo:hi],
-                    )
+                    yield lines[lo:hi], regions[lo:hi]
+        finally:
+            if zf is not None:
+                zf.close()
+
+    def chunks(
+        self, max_records: int = DEFAULT_CHUNK_RECORDS
+    ) -> Iterator[TraceChunk]:
+        for lines, regions in self.line_chunks(max_records):
+            yield TraceChunk(
+                addrs=lines * self.line_bytes,
+                regions=regions,
+            )
 
     def verify_fingerprint(self) -> bool:
         """Re-hash the chunk payload against the header fingerprint.

@@ -153,6 +153,7 @@ def convert_to_rtrace(
     apki: float | None = None,
     dedup: bool = False,
     max_records: int = DEFAULT_CHUNK_RECORDS,
+    compression: int | None = None,
 ) -> dict:
     """Stream a source into a native ``.rtrace`` archive.
 
@@ -167,12 +168,20 @@ def convert_to_rtrace(
         dedup: collapse consecutive same-line accesses per region, like
             :meth:`TraceBuilder.finalize` (private caches filter them).
         max_records: streaming chunk size.
+        compression: zip member compression (default deflate;
+            ``zipfile.ZIP_STORED`` makes the archive memory-mappable —
+            the content fingerprint is the same either way).
 
     Returns:
         The archive header that was written.
     """
     line_bytes = line_bytes if line_bytes is not None else source.line_bytes
-    writer = RTraceWriter(dst, line_bytes=line_bytes)
+    if compression is None:
+        writer = RTraceWriter(dst, line_bytes=line_bytes)
+    else:
+        writer = RTraceWriter(
+            dst, line_bytes=line_bytes, compression=compression
+        )
     deduper = _Dedup() if dedup else None
     has_regions = False
     try:
@@ -213,11 +222,29 @@ def materialize(
     line_chunks: list[np.ndarray] = []
     region_chunks: list[np.ndarray] = []
     has_regions = False
-    for chunk in source.chunks(max_records):
-        regions = _chunk_regions(chunk, table)
-        has_regions = has_regions or chunk.regions is not None
-        line_chunks.append(chunk.addrs // line_bytes)
-        region_chunks.append(regions)
+    if (
+        table is None
+        and line_bytes == source.line_bytes
+        and hasattr(source, "line_chunks")
+    ):
+        # Native archives store line ids directly: read them as-is
+        # (zero-copy views when the archive is mappable) instead of the
+        # lines * bytes -> addrs // bytes round trip, which is the
+        # identity on integers but forces two array copies.
+        has_regions = True
+        for lines, regions in source.line_chunks(max_records):
+            line_chunks.append(lines)
+            region_chunks.append(regions)
+    else:
+        for chunk in source.chunks(max_records):
+            regions = _chunk_regions(chunk, table)
+            has_regions = has_regions or chunk.regions is not None
+            line_chunks.append(chunk.addrs // line_bytes)
+            region_chunks.append(regions)
+    # An empty source is diagnosed first: "no instruction count" on a
+    # zero-record capture pointed users at the wrong flag.
+    if not line_chunks or not sum(len(c) for c in line_chunks):
+        raise ValueError("source yielded no records")
     n_records = sum(len(c) for c in line_chunks)
     instr = resolve_instructions(source, n_records, instructions, apki)
     if instr is None:
@@ -225,11 +252,17 @@ def materialize(
             "source carries no instruction count; pass instructions= or "
             "apki= (or convert with --instructions / --apki)"
         )
-    if not line_chunks:
-        raise ValueError("source yielded no records")
     return Trace(
-        lines=np.concatenate(line_chunks),
-        regions=np.concatenate(region_chunks),
+        lines=(
+            line_chunks[0]
+            if len(line_chunks) == 1
+            else np.concatenate(line_chunks)
+        ),
+        regions=(
+            region_chunks[0]
+            if len(region_chunks) == 1
+            else np.concatenate(region_chunks)
+        ),
         instructions=instr,
         line_bytes=line_bytes,
         region_names=_merged_names(source, table, has_regions),

@@ -4,20 +4,26 @@ Profiling (stack distances over each VC's access stream) is by far the
 most expensive step of the evaluation pipeline, and every scheme that
 shares a VC layout reuses the same curves, so results are cached on disk
 keyed by a fingerprint of (trace, VC mapping, grid parameters).
+
+Cached profiles live in the content-addressed artifact store
+(:mod:`repro.store`), which memory-maps payloads so N campaign workers
+share one page-cache copy of each curve set.  Two legacy paths remain:
+``$REPRO_PROFILE_CACHE`` pins the original flat-directory cache (tests
+and hermetic runs), and the committed ``.profile_cache/`` fixture pile
+is still read — never rewritten — when the store misses.
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
-import zipfile
-import zlib
 from pathlib import Path
 
 import numpy as np
 
 from repro.curves.miss_curve import MissCurve
 from repro.curves.reuse import StackDistanceProfiler
+from repro.store.profiles import FORMAT_VERSION, load_profile
 from repro.workloads.trace import Trace
 
 __all__ = ["profile_vcs", "cache_dir", "clear_cache", "relabel_regions"]
@@ -42,30 +48,68 @@ def relabel_regions(
 
 _ENV_CACHE = "REPRO_PROFILE_CACHE"
 
-#: On-disk cache version.  Version 1 fingerprints hashed only a stride-257
-#: sample of the trace, so short traces with equal length and instruction
-#: count could collide and serve the wrong curves; version 2 hashes the
-#: full arrays.  Loads reject any other version (files without the key
-#: load as version 1), so stale entries are re-profiled, never misread.
-_FORMAT_VERSION = 2
+#: On-disk cache version (defined in :mod:`repro.store.profiles`, the
+#: payload's single source of truth).  Version 1 fingerprints hashed only
+#: a stride-257 sample of the trace, so short traces with equal length and
+#: instruction count could collide and serve the wrong curves; version 2
+#: hashes the full arrays.  Loads reject any other version (files without
+#: the key load as version 1), so stale entries are re-profiled, never
+#: misread.
+_FORMAT_VERSION = FORMAT_VERSION
 
 
 def cache_dir() -> Path:
-    """Directory for cached profiles (override with $REPRO_PROFILE_CACHE)."""
+    """The flat legacy cache directory ($REPRO_PROFILE_CACHE).
+
+    With the variable set, this directory *is* the cache (the store is
+    not consulted — hermetic runs see exactly the files they seeded).
+    Without it, new profiles go to the artifact store and this resolves
+    to the committed read-only fixture pile.
+    """
     root = os.environ.get(_ENV_CACHE)
     if root:
         return Path(root)
     return Path(__file__).resolve().parents[3] / ".profile_cache"
 
 
+def _fixture_dir() -> Path | None:
+    """The committed fixture pile, when running from a source checkout.
+
+    Installed packages have no checkout around them — the old
+    ``parents[3]``-relative default then pointed into the install prefix
+    (e.g. next to ``site-packages``); returning ``None`` routes
+    everything to the store instead.
+    """
+    legacy = Path(__file__).resolve().parents[3] / ".profile_cache"
+    return legacy if legacy.is_dir() else None
+
+
+def _profile_store():
+    from repro.store import ArtifactStore
+
+    return ArtifactStore()
+
+
 def clear_cache() -> int:
-    """Delete all cached profiles; returns the number of files removed."""
-    directory = cache_dir()
-    if not directory.exists():
-        return 0
+    """Delete all cached profiles; returns the number of files removed.
+
+    Clears whichever cache is active: the legacy flat directory when
+    ``$REPRO_PROFILE_CACHE`` is set, the store's profile kind otherwise
+    (committed fixtures are never deleted).
+    """
     n = 0
-    for f in directory.glob("*.npz"):
-        f.unlink()
+    if os.environ.get(_ENV_CACHE):
+        directory = cache_dir()
+        if not directory.exists():
+            return 0
+        for f in directory.glob("*.npz"):
+            f.unlink()
+            n += 1
+        return n
+    store = _profile_store()
+    for kind, fingerprint, path in list(store.artifacts("profiles")):
+        path.unlink(missing_ok=True)
+        store.meta_path(kind, fingerprint).unlink(missing_ok=True)
         n += 1
     return n
 
@@ -155,67 +199,76 @@ def profile_vcs(
         trace.lines, vc_ids, trace.instructions, n_intervals=n_intervals
     )
     if use_cache and key is not None:
-        _store(key, curves)
+        _store(
+            key,
+            curves,
+            inputs={
+                "n_records": len(trace),
+                "instructions": trace.instructions,
+                "line_bytes": trace.line_bytes,
+                "mapping": {str(r): v for r, v in sorted(mapping.items())},
+                "chunk_bytes": chunk_bytes,
+                "n_chunks": n_chunks,
+                "n_intervals": n_intervals,
+                "sample_shift": sample_shift,
+            },
+        )
     return curves
 
 
 def _load(
     key: str, chunk_bytes: int, n_intervals: int
 ) -> dict[int, list[MissCurve]] | None:
-    path = cache_dir() / f"{key}.npz"
-    if not path.exists():
-        return None
-    try:
-        data = np.load(path)
-    except (OSError, ValueError, zipfile.BadZipFile):
-        return None
     # A stale or partially written file (missing arrays, wrong layout
     # version, truncated index) falls back to re-profiling instead of
-    # crashing the run.
-    try:
-        version = (
-            int(data["format_version"]) if "format_version" in data else 1
+    # crashing the run; load_profile absorbs all of that into None.
+    if os.environ.get(_ENV_CACHE):
+        return load_profile(
+            cache_dir() / f"{key}.npz", chunk_bytes, n_intervals
         )
-        if version != _FORMAT_VERSION:
-            return None
-        out: dict[int, list[MissCurve]] = {}
-        vc_ids = data["vc_ids"]
-        for i, vc in enumerate(vc_ids.tolist()):
-            curves = []
-            for t in range(n_intervals):
-                curves.append(
-                    MissCurve(
-                        misses=data[f"m_{i}_{t}"],
-                        chunk_bytes=chunk_bytes,
-                        accesses=float(data[f"a_{i}"][t]),
-                        instructions=float(data[f"i_{i}"][t]),
-                    )
-                )
-            out[int(vc)] = curves
-    except (KeyError, IndexError, ValueError, OSError, zlib.error, zipfile.BadZipFile):
-        return None
-    return out
+    path = _profile_store().get("profiles", key)
+    if path is not None:
+        out = load_profile(path, chunk_bytes, n_intervals)
+        if out is not None:
+            return out
+    fixture = _fixture_dir()
+    if fixture is not None:
+        return load_profile(fixture / f"{key}.npz", chunk_bytes, n_intervals)
+    return None
 
 
-def _store(key: str, curves: dict[int, list[MissCurve]]) -> None:
-    directory = cache_dir()
-    directory.mkdir(parents=True, exist_ok=True)
-    payload: dict[str, np.ndarray] = {
-        "format_version": np.array(_FORMAT_VERSION, dtype=np.int64),
-        "vc_ids": np.array(sorted(curves), dtype=np.int64),
-    }
-    for i, vc in enumerate(sorted(curves)):
-        series = curves[vc]
-        payload[f"a_{i}"] = np.array([c.accesses for c in series])
-        payload[f"i_{i}"] = np.array([c.instructions for c in series])
-        for t, c in enumerate(series):
-            payload[f"m_{i}_{t}"] = c.misses
-    # Write-to-temp + atomic rename: parallel campaign workers profiling
-    # the same fingerprint must never expose a half-written file.
-    tmp = directory / f".{key}.{os.getpid()}.tmp.npz"
-    try:
-        np.savez_compressed(tmp, **payload)
-        os.replace(tmp, directory / f"{key}.npz")
-    finally:
-        if tmp.exists():
-            tmp.unlink()
+def _store(
+    key: str,
+    curves: dict[int, list[MissCurve]],
+    inputs: dict | None = None,
+) -> None:
+    if os.environ.get(_ENV_CACHE):
+        from repro.store.profiles import encode_payload
+
+        directory = cache_dir()
+        directory.mkdir(parents=True, exist_ok=True)
+        payload = encode_payload(curves)
+        # Write-to-temp + atomic rename: parallel campaign workers
+        # profiling the same fingerprint must never expose a
+        # half-written file.
+        tmp = directory / f".{key}.{os.getpid()}.tmp.npz"
+        try:
+            np.savez_compressed(tmp, **payload)
+            os.replace(tmp, directory / f"{key}.npz")
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+        return
+    from repro.store import provenance_record, publish_profile
+
+    publish_profile(
+        _profile_store(),
+        key,
+        curves,
+        provenance=provenance_record(
+            "profiles",
+            key,
+            builder="repro.sim.profiling.profile_vcs",
+            inputs=inputs,
+        ),
+    )

@@ -1,0 +1,166 @@
+"""Profile artifacts: the cached miss-curve payload, store-side.
+
+The payload schema is the profile cache's (format version 2): a flat
+npz with ``format_version``, ``vc_ids``, and per-VC arrays ``a_{i}``
+(accesses per interval), ``i_{i}`` (instructions per interval), and
+``m_{i}_{t}`` (the interval-``t`` miss curve).  The store publishes it
+*uncompressed* (``np.savez``) so readers can map members zero-copy via
+:mod:`repro.store.mmapzip`; ``decode_payload`` falls back to ``np.load``
+for legacy ``savez_compressed`` files, so committed ``.profile_cache/``
+fixtures keep loading byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import zipfile
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "FORMAT_VERSION",
+    "decode_payload",
+    "encode_payload",
+    "load_profile",
+    "publish_profile",
+    "verify_profile_payload",
+]
+
+#: On-disk payload version — single source of truth for the cache format
+#: (``repro.sim.profiling`` re-exports it as ``_FORMAT_VERSION``).
+#: Version 1 fingerprints hashed only a stride-257 sample of the trace,
+#: so short traces could collide; loads reject any other version.
+FORMAT_VERSION = 2
+
+
+def encode_payload(curves) -> dict[str, np.ndarray]:
+    """Flatten per-VC, per-interval curves into the npz payload."""
+    payload: dict[str, np.ndarray] = {
+        "format_version": np.array(FORMAT_VERSION, dtype=np.int64),
+        "vc_ids": np.array(sorted(curves), dtype=np.int64),
+    }
+    for i, vc in enumerate(sorted(curves)):
+        series = curves[vc]
+        payload[f"a_{i}"] = np.array([c.accesses for c in series])
+        payload[f"i_{i}"] = np.array([c.instructions for c in series])
+        for t, c in enumerate(series):
+            payload[f"m_{i}_{t}"] = c.misses
+    return payload
+
+
+def decode_payload(data, chunk_bytes: int, n_intervals: int):
+    """Rebuild curves from a payload mapping; None on any staleness.
+
+    ``data`` is either an ``NpzFile`` or a mapped-member dict — anything
+    supporting ``in`` and ``[]``.  A stale or partially written payload
+    (missing arrays, wrong version) returns ``None`` so callers fall
+    back to re-profiling rather than crash.
+    """
+    from repro.curves.miss_curve import MissCurve
+
+    try:
+        version = (
+            int(data["format_version"]) if "format_version" in data else 1
+        )
+        if version != FORMAT_VERSION:
+            return None
+        out: dict[int, list[MissCurve]] = {}
+        vc_ids = data["vc_ids"]
+        for i, vc in enumerate(vc_ids.tolist()):
+            curves = []
+            for t in range(n_intervals):
+                curves.append(
+                    MissCurve(
+                        misses=data[f"m_{i}_{t}"],
+                        chunk_bytes=chunk_bytes,
+                        accesses=float(data[f"a_{i}"][t]),
+                        instructions=float(data[f"i_{i}"][t]),
+                    )
+                )
+            out[int(vc)] = curves
+    except (
+        KeyError,
+        IndexError,
+        ValueError,
+        OSError,
+        zlib.error,
+        zipfile.BadZipFile,
+    ):
+        return None
+    return out
+
+
+def load_profile(
+    path: str | Path, chunk_bytes: int, n_intervals: int, mmap: bool = True
+):
+    """Load a profile payload, zero-copy when the file permits it.
+
+    Mapped payloads hand :class:`MissCurve` read-only views over one
+    shared mapping (N workers share one page-cache copy); compressed or
+    foreign files fall back to ``np.load`` and, failing that, ``None``.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    if mmap:
+        from repro.store.mmapzip import npz_arrays
+
+        try:
+            arrays = npz_arrays(path)
+        except (OSError, ValueError, zipfile.BadZipFile):
+            arrays = None
+        if arrays is not None:
+            return decode_payload(arrays, chunk_bytes, n_intervals)
+    try:
+        data = np.load(path)
+    except (OSError, ValueError, zipfile.BadZipFile):
+        return None
+    return decode_payload(data, chunk_bytes, n_intervals)
+
+
+def publish_profile(store, fingerprint: str, curves, provenance=None) -> Path:
+    """Publish curves to the store as a mappable (uncompressed) npz."""
+    payload = encode_payload(curves)
+
+    def _write(tmp: Path) -> None:
+        # np.savez appends ".npz" to bare paths; an open handle keeps the
+        # staging name exact so the atomic rename sees the real file.
+        with open(tmp, "wb") as f:
+            np.savez(f, **payload)
+
+    return store.publish(
+        "profiles", fingerprint, _write, provenance=provenance
+    )
+
+
+def verify_profile_payload(path: str | Path) -> str | None:
+    """Structural check of a stored profile; None if sound, else why not."""
+    try:
+        data = np.load(path)
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        return f"unreadable payload: {exc}"
+    with data:
+        if "format_version" not in data:
+            return "missing format_version"
+        version = int(data["format_version"])
+        if version != FORMAT_VERSION:
+            return f"format version {version} != {FORMAT_VERSION}"
+        if "vc_ids" not in data:
+            return "missing vc_ids"
+        n_vcs = len(data["vc_ids"])
+        for i in range(n_vcs):
+            for prefix in ("a", "i"):
+                if f"{prefix}_{i}" not in data:
+                    return f"missing {prefix}_{i}"
+            n_intervals = len(data[f"a_{i}"])
+            if len(data[f"i_{i}"]) != n_intervals:
+                return f"a_{i}/i_{i} interval counts disagree"
+            for t in range(n_intervals):
+                name = f"m_{i}_{t}"
+                if name not in data:
+                    return f"missing {name}"
+                misses = data[name]
+                if misses.ndim != 1 or len(misses) == 0:
+                    return f"{name} is not a non-empty 1-D curve"
+    return None

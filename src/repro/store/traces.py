@@ -1,0 +1,78 @@
+"""Trace artifacts: ``.rtrace`` archives keyed by content fingerprint.
+
+The ``.rtrace`` header already carries a blake2b content fingerprint
+that is invariant to chunk boundaries *and* to zip compression (it
+hashes the line/region arrays, not the container bytes), so an archive
+can be re-filed — or rewritten uncompressed for zero-copy readers —
+without changing its key.  Workload names attach through the store's
+name index rather than the filename, so one payload can serve many
+registrations.
+"""
+
+from __future__ import annotations
+
+import zipfile
+from pathlib import Path
+
+from repro.store.artifacts import ArtifactStore, provenance_record
+
+__all__ = ["publish_trace"]
+
+
+def publish_trace(
+    store: ArtifactStore,
+    src: str | Path,
+    name: str | None = None,
+    inputs: dict | None = None,
+) -> tuple[str, Path]:
+    """Publish an ``.rtrace`` archive into the store.
+
+    Validates the archive (parseable header, known instruction count —
+    the same bar ``register_trace`` sets), rewrites deflated members as
+    ``ZIP_STORED`` so reads can be mapped, publishes under the content
+    fingerprint, and binds ``name`` when given.  Returns
+    ``(fingerprint, payload_path)``.
+    """
+    from repro.ingest import RTraceSource
+
+    src = Path(src)
+    source = RTraceSource(src)  # raises ValueError on a malformed archive
+    if source.instructions is None:
+        raise ValueError(
+            f"{src}: archive has no instruction count; re-run the "
+            "conversion with --instructions or --apki"
+        )
+    fingerprint = source.fingerprint
+    meta = provenance_record(
+        "traces",
+        fingerprint,
+        builder="repro.store.traces.publish_trace",
+        inputs={
+            "source": str(src),
+            "n_records": source.n_records,
+            "line_bytes": source.line_bytes,
+            "instructions": source.instructions,
+            **(inputs or {}),
+        },
+    )
+    dst = store.publish(
+        "traces",
+        fingerprint,
+        lambda tmp: _copy_as_stored(src, tmp),
+        provenance=meta,
+    )
+    if name is not None:
+        store.bind_name(name, "traces", fingerprint)
+    return fingerprint, dst
+
+
+def _copy_as_stored(src: Path, tmp: Path) -> None:
+    """Copy a zip, re-filing deflated members as stored (mappable)."""
+    with zipfile.ZipFile(src) as zin:
+        infos = zin.infolist()
+        if all(i.compress_type == zipfile.ZIP_STORED for i in infos):
+            tmp.write_bytes(src.read_bytes())
+            return
+        with zipfile.ZipFile(tmp, "w", zipfile.ZIP_STORED) as zout:
+            for info in infos:
+                zout.writestr(info.filename, zin.read(info.filename))

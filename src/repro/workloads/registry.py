@@ -144,8 +144,28 @@ def register_trace(name: str, path: str | Path) -> None:
     _REGISTERED_TRACES[name] = path
 
 
+def _store_trace_names() -> dict[str, Path]:
+    """Workload names bound to trace artifacts in the artifact store."""
+    from repro.store import ArtifactStore
+
+    store = ArtifactStore()
+    out: dict[str, Path] = {}
+    for name, binding in store.names().items():
+        if binding.get("kind") != "traces":
+            continue
+        path = store.get("traces", binding["fingerprint"])
+        if path is not None:
+            out[name] = path
+    return out
+
+
 def ingested_apps() -> list[str]:
-    """Names of ingested traces resolvable right now, sorted."""
+    """Names of ingested traces resolvable right now, sorted.
+
+    The union of all three resolution tiers: process-local
+    registrations, ``$REPRO_TRACE_DIR`` archives, and the artifact
+    store's name index.
+    """
     names = set(_REGISTERED_TRACES)
     root = trace_dir()
     if root is not None and root.is_dir():
@@ -156,6 +176,7 @@ def ingested_apps() -> list[str]:
             for p in root.glob("*.rtrace")
             if not p.name.startswith(".")
         )
+    names.update(_store_trace_names())
     return sorted(names)
 
 
@@ -168,6 +189,12 @@ def _ingested_path(name: str) -> Path | None:
         candidate = root / f"{name}.rtrace"
         if candidate.exists():
             return candidate
+    from repro.store import ArtifactStore
+
+    store = ArtifactStore()
+    binding = store.resolve_name(name)
+    if binding is not None and binding.get("kind") == "traces":
+        return store.get("traces", binding["fingerprint"])
     return None
 
 

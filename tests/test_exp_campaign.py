@@ -78,6 +78,30 @@ class TestCampaignRun:
             parallel.read_text().splitlines()
         )
 
+    def test_status_fingerprints_each_job_once(self, tmp_path, monkeypatch):
+        # Regression: campaign_status used to recompute every Job.key()
+        # three times (done list, pending list, per-scheme loop); keys
+        # hash the full job spec, so the grid was fingerprinted 3x over.
+        from repro.exp import job as job_module
+
+        campaign = small_campaign()
+        calls: list[str] = []
+        original_key = job_module.Job.key
+
+        def counting_key(self):
+            calls.append(self.app)
+            return original_key(self)
+
+        monkeypatch.setattr(job_module.Job, "key", counting_key)
+        status = campaign_status(campaign, tmp_path / "empty.jsonl")
+        n_jobs = len(APPS) * len(SCHEMES)
+        assert len(calls) == n_jobs
+        assert status["total"] == n_jobs
+        assert status["pending"] == n_jobs
+        assert sum(
+            row["pending"] for row in status["per_scheme"].values()
+        ) == n_jobs
+
 
 class TestCampaignCli:
     def test_submit_status_export(self, tmp_path, capsys):

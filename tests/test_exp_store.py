@@ -105,6 +105,75 @@ class TestResultStore:
         table = store.export_table("cycles")
         assert "LRU" in table and "Jigsaw" in table and "x" in table
 
+    def test_null_result_replays_as_empty_record(self, tmp_path):
+        # Regression: a line with "result": null used to replay as None,
+        # and records()/export_table then crashed on result.get(...).
+        path = tmp_path / "store.jsonl"
+        path.write_text(
+            '{"key": "dead", "job": {"app": "x", "scheme": "LRU"}, '
+            '"result": null}\n'
+            '{"key": "ok", "job": {"app": "x", "scheme": "Jigsaw"}, '
+            '"result": {"cycles": 5.0}}\n'
+        )
+        store = ResultStore(path)
+        assert store.get("dead") == {}
+        assert list(store.records())  # no AttributeError
+        table = store.export_table("cycles")
+        assert "Jigsaw" in table
+
+    def test_add_normalizes_null_record(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        store.add("k", None, job=Job(app="x", scheme="LRU"))
+        assert store.get("k") == {}
+        assert ResultStore(store.path).get("k") == {}
+        assert store.export_table("cycles")  # must not crash
+
+    def test_falsy_keys_are_kept(self, tmp_path):
+        # Regression: `if key:` dropped keys like "" or 0 silently; only
+        # a missing/null key marks an unusable line.
+        path = tmp_path / "store.jsonl"
+        path.write_text(
+            '{"key": "", "result": {"v": 1}}\n'
+            '{"job": {}, "result": {"v": 2}}\n'  # no key: skipped
+            '{"key": null, "result": {"v": 3}}\n'  # null key: skipped
+        )
+        store = ResultStore(path)
+        assert set(store.keys()) == {""}
+        assert store.get("") == {"v": 1}
+
+    def test_truncated_line_repaired_on_next_append(self, tmp_path):
+        # Crash recovery end to end: a killed writer leaves a final line
+        # without its newline; the next append must insert one first,
+        # and the truncated line stays skipped rather than corrupting
+        # its successor.
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        store.add("k1", {"v": 1})
+        with open(path, "a") as fh:
+            fh.write('{"key": "k2", "result": {"v"')  # killed mid-append
+        recovered = ResultStore(path)
+        assert recovered._needs_newline
+        recovered.add("k3", {"v": 3})
+        assert not recovered._needs_newline
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3  # k1, truncated k2, k3 — all separated
+        reloaded = ResultStore(path)
+        assert set(reloaded.keys()) == {"k1", "k3"}
+        assert reloaded.get("k3") == {"v": 3}
+
+    def test_two_stores_converge_on_union(self, tmp_path):
+        # Separate processes appending to one path (a resumed campaign)
+        # must converge on the union of their records.
+        path = tmp_path / "store.jsonl"
+        a = ResultStore(path)
+        b = ResultStore(path)
+        a.add("ka", {"v": "a"})
+        b.add("kb", {"v": "b"})
+        a.add("ka2", {"v": "a2"})
+        merged = ResultStore(path)
+        assert set(merged.keys()) == {"ka", "kb", "ka2"}
+        assert merged.get("kb") == {"v": "b"}
+
 
 class _KeyedJob:
     def __init__(self, key):

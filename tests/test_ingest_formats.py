@@ -302,3 +302,91 @@ class TestMalformedInputs:
             )
         with pytest.raises(ValueError, match="malformed rtrace header"):
             RTraceSource(path)
+
+
+class TestMaterializeAndFailurePaths:
+    def test_empty_source_diagnosed_before_instruction_check(self, tmp_path):
+        # Regression: a zero-record capture without an instruction count
+        # used to fail with "no instruction count", pointing users at
+        # --instructions when the real problem was an empty source.
+        path = tmp_path / "empty.csv"
+        path.write_text("addr\n")
+        source = open_trace_source(path)
+        with pytest.raises(ValueError, match="yielded no records"):
+            materialize(source)
+
+    def test_convert_failure_unlinks_partial_archive(self, tmp_path):
+        class ExplodingSource:
+            n_records = 100
+            line_bytes = 64
+            instructions = 1000.0
+            region_names: dict = {}
+
+            def chunks(self, max_records=1 << 21):
+                yield ArraySource.from_trace(make_trace(n=50)).chunks().__next__()
+                raise RuntimeError("capture truncated mid-stream")
+
+        dst = tmp_path / "t.rtrace"
+        with pytest.raises(RuntimeError, match="truncated"):
+            convert_to_rtrace(ExplodingSource(), dst)
+        # A partial archive must not survive to be mistaken for a
+        # complete one (it would carry a half-stream fingerprint).
+        assert not dst.exists()
+
+    def test_stored_compression_same_fingerprint_and_trace(self, tmp_path):
+        import zipfile
+
+        trace = make_trace(n=1000)
+        deflated = tmp_path / "d.rtrace"
+        stored = tmp_path / "s.rtrace"
+        h1 = convert_to_rtrace(ArraySource.from_trace(trace), deflated)
+        h2 = convert_to_rtrace(
+            ArraySource.from_trace(trace),
+            stored,
+            compression=zipfile.ZIP_STORED,
+        )
+        # The content fingerprint hashes arrays, not container bytes.
+        assert h1["fingerprint"] == h2["fingerprint"]
+        with zipfile.ZipFile(stored) as zf:
+            assert all(
+                i.compress_type == zipfile.ZIP_STORED for i in zf.infolist()
+            )
+        a = materialize(RTraceSource(deflated))
+        b = materialize(RTraceSource(stored))
+        assert np.array_equal(a.lines, b.lines)
+        assert np.array_equal(a.regions, b.regions)
+        assert a.instructions == b.instructions
+
+    def test_stored_archive_materializes_zero_copy(self, tmp_path):
+        import zipfile
+
+        trace = make_trace(n=500)
+        path = tmp_path / "s.rtrace"
+        convert_to_rtrace(
+            ArraySource.from_trace(trace),
+            path,
+            compression=zipfile.ZIP_STORED,
+        )
+        got = materialize(RTraceSource(path))
+        assert np.array_equal(got.lines, trace.lines)
+        assert np.array_equal(got.regions, trace.regions)
+        # Single-chunk mapped archive: the arrays are read-only views
+        # over the file mapping, not private heap copies.
+        assert not got.lines.flags.writeable
+        assert not got.regions.flags.writeable
+        assert got.lines.base is not None
+
+    def test_line_chunks_matches_chunks(self, tmp_path):
+        trace = make_trace(n=3000)
+        path = tmp_path / "t.rtrace"
+        convert_to_rtrace(
+            ArraySource.from_trace(trace), path, max_records=700
+        )
+        source = RTraceSource(path)
+        via_chunks = np.concatenate(
+            [c.addrs // source.line_bytes for c in source.chunks(500)]
+        )
+        via_lines = np.concatenate(
+            [lines for lines, __ in source.line_chunks(500)]
+        )
+        assert np.array_equal(via_chunks, via_lines)

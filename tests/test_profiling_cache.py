@@ -182,3 +182,91 @@ class TestFingerprint:
         cold_b = profile_vcs(b, use_cache=False, **kwargs)
         profile_vcs(a, use_cache=True, **kwargs)
         assert_curves_equal(profile_vcs(b, use_cache=True, **kwargs), cold_b)
+
+
+class TestStoreBackedCache:
+    """Without $REPRO_PROFILE_CACHE, profiles live in the artifact store."""
+
+    @pytest.fixture()
+    def store_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE_CACHE", raising=False)
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
+        # Isolate from the repo's committed fixture pile.
+        monkeypatch.setattr(profiling, "_fixture_dir", lambda: None)
+        return tmp_path / "store"
+
+    def seed(self, n_intervals=2):
+        rng = np.random.default_rng(11)
+        trace = make_trace(
+            rng.integers(0, 64, size=200),
+            rng.integers(0, 4, size=200),
+            5000.0,
+        )
+        kwargs = dict(
+            mapping={0: 0, 1: 0, 2: 1, 3: 1},
+            chunk_bytes=1024,
+            n_chunks=4,
+            n_intervals=n_intervals,
+        )
+        return trace, kwargs
+
+    def test_round_trip_with_provenance(self, store_env):
+        from repro.store import ArtifactStore
+
+        trace, kwargs = self.seed()
+        cold = profile_vcs(trace, use_cache=False, **kwargs)
+        profile_vcs(trace, use_cache=True, **kwargs)
+        loaded = profile_vcs(trace, use_cache=True, **kwargs)
+        assert_curves_equal(loaded, cold)
+        store = ArtifactStore()
+        (artifact,) = list(store.artifacts("profiles"))
+        meta = store.provenance("profiles", artifact[1])
+        assert meta["builder"] == "repro.sim.profiling.profile_vcs"
+        assert meta["inputs"]["n_records"] == 200
+        assert meta["inputs"]["chunk_bytes"] == 1024
+
+    def test_loads_are_memmapped_zero_copy(self, store_env):
+        trace, kwargs = self.seed()
+        profile_vcs(trace, use_cache=True, **kwargs)
+        loaded = profile_vcs(trace, use_cache=True, **kwargs)
+        for curves in loaded.values():
+            for curve in curves:
+                # A mapped view, not a private deserialized copy: this
+                # is what lets N campaign workers share one page-cache
+                # copy of every profile.
+                assert not curve.misses.flags.writeable
+                assert curve.misses.base is not None
+
+    def test_legacy_fixture_fallback_reads_but_never_writes(
+        self, store_env, tmp_path, monkeypatch
+    ):
+        # Seed a legacy flat-directory pile (the committed fixture
+        # layout), then point the fixture fallback at it.
+        legacy = tmp_path / "fixtures"
+        monkeypatch.setenv("REPRO_PROFILE_CACHE", str(legacy))
+        trace, kwargs = self.seed()
+        cold = profile_vcs(trace, use_cache=False, **kwargs)
+        profile_vcs(trace, use_cache=True, **kwargs)
+        assert len(list(legacy.glob("*.npz"))) == 1
+        monkeypatch.delenv("REPRO_PROFILE_CACHE")
+        monkeypatch.setattr(profiling, "_fixture_dir", lambda: legacy)
+
+        served = profile_vcs(trace, use_cache=True, **kwargs)
+        assert_curves_equal(served, cold)
+        # Fixture hits are not re-published: the store would otherwise
+        # duplicate the entire committed pile on first use.
+        from repro.store import ArtifactStore
+
+        assert list(ArtifactStore().artifacts("profiles")) == []
+
+    def test_clear_cache_clears_store_profiles(self, store_env):
+        trace, kwargs = self.seed()
+        profile_vcs(trace, use_cache=True, **kwargs)
+        from repro.sim.profiling import clear_cache
+
+        assert clear_cache() == 1
+        from repro.store import ArtifactStore
+
+        assert list(ArtifactStore().artifacts("profiles")) == []
+        # Stale sidecars would otherwise be reported by gc forever.
+        assert ArtifactStore().gc(dry_run=True)["removed"] == []
