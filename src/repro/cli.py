@@ -15,12 +15,15 @@ Commands
 - ``store`` — status/gc/verify/compact of the content-addressed
   artifact store (``repro.store``) that holds cached profiles and
   registered traces.
+- ``lint`` — AST-based static checks of the repo's bit-identity,
+  fixture-stability, and atomicity invariants (``repro.devtools.lint``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.analysis import STANDARD_SCHEMES, format_table, placement_map, run_schemes
 from repro.core import TABLE2
@@ -537,6 +540,55 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return cmd_store(args)
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Static invariant checks (see :mod:`repro.devtools.lint`)."""
+    import json as _json
+
+    from repro.devtools.lint import (
+        RULES,
+        explain_rule,
+        find_root,
+        format_json,
+        format_text,
+        lint_paths,
+    )
+
+    if args.explain is not None:
+        try:
+            print(explain_rule(args.explain))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
+    rules = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = sorted(set(rules) - set(RULES))
+        if unknown:
+            print(
+                f"error: unknown rule ids: {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(RULES))}",
+                file=sys.stderr,
+            )
+            return 2
+    root = Path(args.root) if args.root else find_root()
+    try:
+        findings = lint_paths(
+            paths=args.paths or None,
+            rules=rules,
+            root=root,
+            manifest_path=args.manifest,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(_json.dumps(format_json(findings, root), indent=2))
+    else:
+        print(format_text(findings))
+    return 1 if findings else 0
+
+
 def _cmd_config(args: argparse.Namespace) -> int:
     for cfg in (four_core_config(), sixteen_core_config()):
         print(f"--- {cfg.name} ---")
@@ -736,6 +788,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--dry-run", action="store_true",
         help="gc/compact: report what would change without touching disk",
     )
+
+    p_lint = sub.add_parser(
+        "lint", help="static checks of the repo's pinned invariants"
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: src tests benchmarks)",
+    )
+    p_lint.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    p_lint.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (json is the stable CI artifact schema)",
+    )
+    p_lint.add_argument(
+        "--explain",
+        metavar="RULE-ID",
+        default=None,
+        help="print a rule's rationale and exit",
+    )
+    p_lint.add_argument(
+        "--root",
+        default=None,
+        help="repository root (default: nearest ancestor with "
+        "pyproject.toml)",
+    )
+    p_lint.add_argument(
+        "--manifest",
+        default=None,
+        help="alternate invariants.toml (default: the packaged manifest)",
+    )
     return parser
 
 
@@ -749,6 +838,7 @@ _COMMANDS = {
     "campaign": _cmd_campaign,
     "ingest": _cmd_ingest,
     "store": _cmd_store,
+    "lint": _cmd_lint,
 }
 
 

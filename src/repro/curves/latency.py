@@ -80,7 +80,6 @@ def latency_curve(
         float array, ``stalls[i]`` = data-stall cycles per instruction at
         size ``i * curve.chunk_bytes``.
     """
-    n = curve.n_chunks
     instr = max(curve.instructions, 1e-12)
     if hops is None:
         sizes = curve.sizes_bytes()

@@ -14,6 +14,7 @@ Sec 4.2, citing Talus).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Iterable
 
 import numpy as np
 
@@ -201,7 +202,10 @@ class MissCurve:
         )
 
 
-def map_pair_batches(pairs, rows_fn) -> list["MissCurve"]:
+def map_pair_batches(
+    pairs: Iterable[tuple["MissCurve", "MissCurve"]],
+    rows_fn: Callable[[list[tuple["MissCurve", "MissCurve"]], int], np.ndarray],
+) -> list["MissCurve"]:
     """Shared scaffolding for the batched pair-curve engines.
 
     Validates that each pair shares ``chunk_bytes``, groups pairs by the
@@ -375,7 +379,7 @@ def _lower_convex_hull_fast(values: np.ndarray) -> np.ndarray:
     return np.interp(np.arange(n, dtype=np.float64), xs, values[stack])
 
 
-def prime_hull_caches(curves) -> None:
+def prime_hull_caches(curves: Iterable["MissCurve"]) -> None:
     """Pre-fill :meth:`MissCurve.convex_hull` caches for ``curves``.
 
     The batched engines call this once up front so every later

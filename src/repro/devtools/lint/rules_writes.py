@@ -1,0 +1,180 @@
+"""Atomic publish: final artifacts appear whole or not at all.
+
+Everything under the artifact store and experiment layers must write
+final files as same-directory temp + ``os.replace`` so a crash mid-write
+leaves only ``.*.tmp`` residue (which ``store gc`` removes) and never a
+truncated artifact that a later reader trusts.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.base import (
+    Finding,
+    LintedFile,
+    Project,
+    Rule,
+    call_name,
+    register_rule,
+)
+
+__all__ = ["AtomicPublishRule"]
+
+#: open() modes that create/truncate a file (append is exempt: the JSONL
+#: result store relies on O_APPEND write-through semantics).
+_CREATE_MODES = {"w", "wb", "x", "xb", "w+", "wb+", "w+b", "xt", "wt"}
+
+#: numpy writers that take a path-or-handle first argument.
+_NP_WRITERS = {"save", "savez", "savez_compressed", "savetxt"}
+
+
+def _is_staging_expr(node: ast.expr, staging_names: set[str]) -> bool:
+    """Whether a write target is a staging (temp) path or handle."""
+    if isinstance(node, ast.Name) and node.id in staging_names:
+        return True
+    snippet = ast.unparse(node).lower()
+    return "tmp" in snippet or "temp" in snippet
+
+
+class _WriteVisitor(ast.NodeVisitor):
+    """Collects non-atomic write sites in one file."""
+
+    def __init__(self, rule: Rule, f: LintedFile) -> None:
+        self.rule = rule
+        self.f = f
+        self.findings: list[Finding] = []
+        #: names bound from ``with open(<staging>, ...) as f`` — writes
+        #: through these handles land in the temp file, not the final one.
+        self.staging_names: set[str] = set()
+
+    # -- staging-handle tracking ---------------------------------------
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            ctx = item.context_expr
+            if (
+                isinstance(ctx, ast.Call)
+                and call_name(ctx.func) in ("open", "io.open", "Path.open")
+                and ctx.args
+                and _is_staging_expr(ctx.args[0], self.staging_names)
+                and isinstance(item.optional_vars, ast.Name)
+            ):
+                self.staging_names.add(item.optional_vars.id)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        value = node.value
+        if (
+            isinstance(value, ast.Call)
+            and call_name(value.func) in ("open", "io.open")
+            and value.args
+            and _is_staging_expr(value.args[0], self.staging_names)
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.staging_names.add(target.id)
+        self.generic_visit(node)
+
+    # -- write sites ---------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        name = call_name(node.func)
+        if name in ("os.rename", "shutil.move"):
+            self._flag(
+                node,
+                f"{name}() is not atomic across directories; publish via "
+                "same-directory os.replace(tmp, final)",
+            )
+        elif name is not None and name.split(".")[-1] == "open":
+            self._check_open(node)
+        elif name is not None and (
+            name.startswith("np.") or name.startswith("numpy.")
+        ):
+            if name.split(".")[-1] in _NP_WRITERS and node.args:
+                if not _is_staging_expr(node.args[0], self.staging_names):
+                    target = ast.unparse(node.args[0])
+                    self._flag(
+                        node,
+                        f"{name}() writes {target!r} in place; write to a "
+                        "same-directory temp path and os.replace() it into "
+                        "the final name",
+                    )
+        elif isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "write_text",
+            "write_bytes",
+        ):
+            if not _is_staging_expr(node.func.value, self.staging_names):
+                target = ast.unparse(node.func.value)
+                self._flag(
+                    node,
+                    f".{node.func.attr}() on {target!r} truncates the "
+                    "final artifact in place; stage to a temp sibling and "
+                    "os.replace() it",
+                )
+        self.generic_visit(node)
+
+    def _check_open(self, node: ast.Call) -> None:
+        mode = None
+        if len(node.args) >= 2 and isinstance(node.args[1], ast.Constant):
+            mode = node.args[1].value
+        for kw in node.keywords:
+            if kw.arg == "mode" and isinstance(kw.value, ast.Constant):
+                mode = kw.value.value
+        if not isinstance(mode, str) or mode not in _CREATE_MODES:
+            return
+        target_expr: ast.expr | None
+        if call_name(node.func) in ("open", "io.open"):
+            target_expr = node.args[0] if node.args else None
+        else:  # path.open("w")
+            target_expr = node.func.value  # type: ignore[union-attr]
+        if target_expr is None:
+            return
+        if _is_staging_expr(target_expr, self.staging_names):
+            return
+        target = ast.unparse(target_expr)
+        self._flag(
+            node,
+            f"open({target!r}, {mode!r}) truncates a final path in "
+            "place; a crash mid-write leaves a partial artifact — stage "
+            "to a same-directory temp file and os.replace() it",
+        )
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            self.rule.finding(self.f, getattr(node, "lineno", 1), message)
+        )
+
+
+@register_rule
+class AtomicPublishRule(Rule):
+    """Store/exp layers must publish files via temp + ``os.replace``.
+
+    Within the module prefixes listed under ``[atomic_publish]`` in
+    ``invariants.toml``, any write that creates or truncates a *final*
+    path is a crash hazard: a reader (or ``store verify``) that races or
+    follows a crash sees a truncated artifact with a valid name.  The
+    discipline is: create ``.{name}.{pid}.tmp`` in the destination
+    directory, write it fully, then ``os.replace`` — which is atomic on
+    POSIX within a filesystem.  Cross-directory ``os.rename`` and
+    ``shutil.move`` are flagged unconditionally (move degrades to
+    copy+delete across mounts).  Append-mode opens are exempt.  Writes
+    whose target is recognizably a staging path (name contains ``tmp``)
+    or a handle opened on one are the sanctioned pattern.
+    """
+
+    id = "atomic-publish"
+
+    def check_file(
+        self, f: LintedFile, project: Project
+    ) -> Iterator[Finding]:
+        prefixes = project.manifest.get("atomic_publish", {}).get(
+            "modules", []
+        )
+        if f.tree is None or not any(
+            f.rel == p or f.rel.startswith(p.rstrip("/") + "/")
+            for p in prefixes
+        ):
+            return
+        visitor = _WriteVisitor(self, f)
+        visitor.visit(f.tree)
+        yield from visitor.findings

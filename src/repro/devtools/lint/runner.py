@@ -1,0 +1,153 @@
+"""Drive a lint run: collect files, apply rules, filter suppressions."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.devtools.lint.base import (
+    RULES,
+    Finding,
+    LintedFile,
+    Project,
+    iter_rule_instances,
+)
+from repro.devtools.lint.manifest import load_manifest
+
+__all__ = [
+    "explain_rule",
+    "find_root",
+    "format_json",
+    "format_text",
+    "lint_paths",
+]
+
+
+def find_root(start: Path | None = None) -> Path:
+    """Locate the repository root (nearest ancestor with pyproject.toml)."""
+    start = Path(start) if start is not None else Path.cwd()
+    for candidate in (start, *start.resolve().parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    # Fall back to the checkout this package was imported from:
+    # .../root/src/repro/devtools/lint/runner.py -> root.
+    return Path(__file__).resolve().parents[4]
+
+
+def _collect(root: Path, paths: Sequence[str | Path]) -> list[Path]:
+    out: list[Path] = []
+    for p in paths:
+        path = Path(p)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if any(
+                    part.startswith(".") or part == "__pycache__"
+                    for part in sub.relative_to(root).parts
+                ):
+                    continue
+                out.append(sub)
+        elif path.is_file():
+            out.append(path)
+    seen: set[Path] = set()
+    unique = []
+    for path in out:
+        if path not in seen:
+            seen.add(path)
+            unique.append(path)
+    return unique
+
+
+def lint_paths(
+    paths: Sequence[str | Path] | None = None,
+    rules: Iterable[str] | None = None,
+    root: Path | str | None = None,
+    manifest_path: Path | str | None = None,
+) -> list[Finding]:
+    """Lint ``paths`` (default: the manifest's default set) under ``root``.
+
+    Returns the sorted, suppression-filtered findings.  Project-level
+    rules always run against the full repo tree at ``root`` regardless
+    of ``paths`` — the pinned invariants hold for the repository, not
+    for whichever files happened to be linted.
+    """
+    root = Path(root) if root is not None else find_root()
+    manifest = load_manifest(manifest_path)
+    if paths is None:
+        paths = manifest.get("lint", {}).get(
+            "default_paths", ["src", "tests", "benchmarks"]
+        )
+    files: list[LintedFile] = []
+    for path in _collect(root, paths):
+        rel = path.resolve().relative_to(root.resolve()).as_posix()
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            unreadable = LintedFile(path, rel, "")
+            unreadable.tree = None
+            files.append(unreadable)
+            continue
+        files.append(LintedFile(path, rel, source))
+    project = Project(root, manifest, files)
+    findings: list[Finding] = []
+    for f in files:
+        if f.tree is None:
+            findings.append(
+                Finding(
+                    file=f.rel,
+                    line=1,
+                    rule_id="parse-error",
+                    message="file does not parse; rules skipped",
+                )
+            )
+    for rule in iter_rule_instances(rules):
+        for f in files:
+            findings.extend(rule.check_file(f, project))
+        findings.extend(rule.check_project(project))
+    kept = []
+    for finding in findings:
+        f = project.file(finding.file)
+        if f is not None and f.suppressed(finding):
+            continue
+        kept.append(finding)
+    return sorted(set(kept))
+
+
+def format_text(findings: Sequence[Finding]) -> str:
+    """One ``file:line: [rule-id] message`` line per finding."""
+    lines = [
+        f"{f.file}:{f.line}: [{f.rule_id}] {f.message}" for f in findings
+    ]
+    lines.append(
+        f"{len(findings)} finding(s)"
+        if findings
+        else "no findings"
+    )
+    return "\n".join(lines)
+
+
+def format_json(findings: Sequence[Finding], root: Path) -> dict:
+    """The ``--format json`` document (stable schema, version 1)."""
+    counts: dict[str, int] = {}
+    for f in findings:
+        counts[f.rule_id] = counts.get(f.rule_id, 0) + 1
+    return {
+        "version": 1,
+        "root": str(root),
+        "findings": [f.to_dict() for f in findings],
+        "counts": dict(sorted(counts.items())),
+    }
+
+
+def explain_rule(rule_id: str) -> str:
+    """The rule's rationale (its class docstring), dedented."""
+    cls = RULES.get(rule_id)
+    if cls is None:
+        raise ValueError(
+            f"unknown rule id {rule_id!r}; known: {', '.join(sorted(RULES))}"
+        )
+    doc = cls.__doc__ or "(no rationale recorded)"
+    first, _, rest = doc.partition("\n")
+    return f"{rule_id}: {first.strip()}\n{textwrap.dedent(rest).rstrip()}"

@@ -10,6 +10,7 @@ they can be submitted from the CLI (``python -m repro campaign``).
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 
@@ -97,5 +98,11 @@ class Campaign:
             return cls.from_dict(json.load(fh))
 
     def save(self, path: str | Path) -> None:
-        """Write the spec as JSON."""
-        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        """Write the spec as JSON (atomically: temp sibling + replace)."""
+        dst = Path(path)
+        tmp = dst.parent / f".{dst.name}.{os.getpid()}.tmp"
+        try:
+            tmp.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+            os.replace(tmp, dst)
+        finally:
+            tmp.unlink(missing_ok=True)

@@ -17,6 +17,7 @@ Fig-22-scale runs (20 mixes × 4/16 cores) and larger are one command::
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 
@@ -137,8 +138,14 @@ class MixCampaign:
             return cls.from_dict(json.load(fh))
 
     def save(self, path: str | Path) -> None:
-        """Write the spec as JSON."""
-        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        """Write the spec as JSON (atomically: temp sibling + replace)."""
+        dst = Path(path)
+        tmp = dst.parent / f".{dst.name}.{os.getpid()}.tmp"
+        try:
+            tmp.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+            os.replace(tmp, dst)
+        finally:
+            tmp.unlink(missing_ok=True)
 
 
 def weighted_speedup_table(

@@ -18,9 +18,12 @@ ranges.  Sources that are natively line-granular (``.rtrace``) expose
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Iterator, Protocol, runtime_checkable
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.workloads.trace import Trace
 
 __all__ = ["ArraySource", "TraceChunk", "TraceSource", "DEFAULT_CHUNK_RECORDS"]
 
@@ -121,7 +124,7 @@ class ArraySource:
         self.region_names = dict(region_names or {})
 
     @classmethod
-    def from_trace(cls, trace) -> "ArraySource":
+    def from_trace(cls, trace: "Trace") -> "ArraySource":
         """Wrap a :class:`~repro.workloads.trace.Trace` (line-granular).
 
         Addresses are the line base addresses, so re-ingesting at the

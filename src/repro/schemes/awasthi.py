@@ -127,7 +127,6 @@ class AwasthiScheme(Scheme):
         for vc_id, curve in actual_curves.items():
             if curve.accesses <= 0:
                 continue
-            spec = self.vcs[vc_id]
             hops = allocations[vc_id].avg_hops + 1.0
             moved_lines = PAGES_PER_EPOCH * LINES_PER_PAGE
             stats.energy = stats.energy + cfg.energy.migration(hops, moved_lines)

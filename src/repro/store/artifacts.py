@@ -35,6 +35,7 @@ import os
 import shutil
 import time
 from pathlib import Path
+from typing import Callable, Iterator
 
 from repro.version import __version__
 
@@ -126,7 +127,7 @@ class ArtifactStore:
         self,
         kind: str,
         fingerprint: str,
-        write,
+        write: Callable[[Path], None],
         provenance: dict | None = None,
     ) -> Path:
         """Atomically publish a payload produced by ``write(tmp_path)``.
@@ -223,7 +224,9 @@ class ArtifactStore:
     # ------------------------------------------------------------------
     # Enumeration
     # ------------------------------------------------------------------
-    def artifacts(self, kind: str | None = None):
+    def artifacts(
+        self, kind: str | None = None
+    ) -> Iterator[tuple[str, str, Path]]:
         """Yield ``(kind, fingerprint, payload_path)`` for stored payloads."""
         kinds = [kind] if kind is not None else list(KINDS)
         for k in kinds:

@@ -22,10 +22,11 @@ __all__ = ["cmd_store"]
 
 
 def _fmt_bytes(n: int) -> str:
+    size = float(n)
     for unit in ("B", "KiB", "MiB", "GiB"):
-        if n < 1024 or unit == "GiB":
-            return f"{n:.1f} {unit}" if unit != "B" else f"{n} B"
-        n /= 1024
+        if size < 1024 or unit == "GiB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{n} B"
+        size /= 1024
     return f"{n} B"
 
 

@@ -15,8 +15,13 @@ from __future__ import annotations
 import zipfile
 import zlib
 from pathlib import Path
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.curves.miss_curve import MissCurve
+    from repro.store.artifacts import ArtifactStore
 
 __all__ = [
     "FORMAT_VERSION",
@@ -34,7 +39,9 @@ __all__ = [
 FORMAT_VERSION = 2
 
 
-def encode_payload(curves) -> dict[str, np.ndarray]:
+def encode_payload(
+    curves: dict[int, list[MissCurve]],
+) -> dict[str, np.ndarray]:
     """Flatten per-VC, per-interval curves into the npz payload."""
     payload: dict[str, np.ndarray] = {
         "format_version": np.array(FORMAT_VERSION, dtype=np.int64),
@@ -49,7 +56,9 @@ def encode_payload(curves) -> dict[str, np.ndarray]:
     return payload
 
 
-def decode_payload(data, chunk_bytes: int, n_intervals: int):
+def decode_payload(
+    data: Any, chunk_bytes: int, n_intervals: int
+) -> dict[int, list[MissCurve]] | None:
     """Rebuild curves from a payload mapping; None on any staleness.
 
     ``data`` is either an ``NpzFile`` or a mapped-member dict — anything
@@ -93,7 +102,7 @@ def decode_payload(data, chunk_bytes: int, n_intervals: int):
 
 def load_profile(
     path: str | Path, chunk_bytes: int, n_intervals: int, mmap: bool = True
-):
+) -> dict[int, list[MissCurve]] | None:
     """Load a profile payload, zero-copy when the file permits it.
 
     Mapped payloads hand :class:`MissCurve` read-only views over one
@@ -119,7 +128,12 @@ def load_profile(
     return decode_payload(data, chunk_bytes, n_intervals)
 
 
-def publish_profile(store, fingerprint: str, curves, provenance=None) -> Path:
+def publish_profile(
+    store: ArtifactStore,
+    fingerprint: str,
+    curves: dict[int, list[MissCurve]],
+    provenance: dict | None = None,
+) -> Path:
     """Publish curves to the store as a mappable (uncompressed) npz."""
     payload = encode_payload(curves)
 

@@ -1,7 +1,5 @@
 """Unit tests for the energy model."""
 
-import pytest
-
 from repro.nuca import EnergyBreakdown, EnergyModel
 
 
