@@ -11,12 +11,25 @@ Three components (Fig 14):
   process VC.
 
 :func:`train_whirltool` runs the full pipeline on a training input.
+
+The *online* variant (:mod:`repro.core.whirltool.online`) streams the
+same pipeline over live traffic: :class:`OnlineWhirlTool` seals
+profiling epochs as records arrive and re-clusters on
+:class:`PhaseDetector` triggers, bit-identical at completion to the
+offline pipeline on sized sources.
 """
 
 from repro.core.whirltool.analyzer import (
     ClusteringResult,
+    IncrementalClusterCache,
     WhirlToolAnalyzer,
     pool_distance,
+)
+from repro.core.whirltool.online import (
+    EpochReport,
+    OnlineWhirlTool,
+    PhaseDetector,
+    online_pools_reference,
 )
 from repro.core.whirltool.profiler import CallpointProfile, WhirlToolProfiler
 from repro.core.whirltool.runtime import WhirlToolClassifier, train_whirltool
@@ -24,9 +37,14 @@ from repro.core.whirltool.runtime import WhirlToolClassifier, train_whirltool
 __all__ = [
     "CallpointProfile",
     "ClusteringResult",
+    "EpochReport",
+    "IncrementalClusterCache",
+    "OnlineWhirlTool",
+    "PhaseDetector",
     "WhirlToolAnalyzer",
     "WhirlToolClassifier",
     "WhirlToolProfiler",
+    "online_pools_reference",
     "pool_distance",
     "train_whirltool",
 ]

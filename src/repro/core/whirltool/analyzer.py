@@ -42,7 +42,12 @@ from repro.curves.combine import combine_miss_curves, combine_rate_rows
 from repro.curves.miss_curve import MissCurve, _lower_convex_hull_fast
 from repro.curves.partition import partitioned_miss_curve, partitioned_rate_rows
 
-__all__ = ["WhirlToolAnalyzer", "ClusteringResult", "pool_distance"]
+__all__ = [
+    "IncrementalClusterCache",
+    "WhirlToolAnalyzer",
+    "ClusteringResult",
+    "pool_distance",
+]
 
 
 def pool_distance(a: list[MissCurve], b: list[MissCurve]) -> float:
@@ -62,6 +67,61 @@ def pool_distance(a: list[MissCurve], b: list[MissCurve]) -> float:
         area = np.sum(combined.misses - partitioned.misses)
         total += max(float(area), 0.0) / max(combined.instructions, 1e-12)
     return total
+
+
+def _lane_area_terms(
+    ra: np.ndarray,
+    rb: np.ndarray,
+    ha: np.ndarray,
+    hb: np.ndarray,
+    instr_c: np.ndarray,
+) -> np.ndarray:
+    """Per-lane combined-vs-partitioned area terms (one interval each).
+
+    The float core every distance evaluation shares: combine model and
+    optimal split scaled to misses, the MissCurve monotone/clip
+    normalization, and the per-instruction area.  Both
+    :meth:`WhirlToolAnalyzer.cluster`'s full-pair batches and
+    :meth:`WhirlToolAnalyzer.cluster_incremental`'s single-interval
+    columns run lanes through these exact expressions, and the kernels
+    underneath are lane-independent, so a term's value does not depend
+    on which batch evaluated it — the property that makes cached terms
+    reusable bit-identically.
+    """
+    combined = combine_rate_rows(ra, rb) * instr_c[:, None]
+    np.minimum.accumulate(combined, axis=1, out=combined)
+    np.clip(combined, 0.0, None, out=combined)
+    split = partitioned_rate_rows(ha, hb) * instr_c[:, None]
+    np.minimum.accumulate(split, axis=1, out=split)
+    np.clip(split, 0.0, None, out=split)
+    area = np.sum(combined - split, axis=1)
+    return np.maximum(area, 0.0) / np.maximum(instr_c, 1e-12)
+
+
+@dataclass
+class IncrementalClusterCache:
+    """Leaf-pair distance terms carried across online re-clusters.
+
+    ``terms[(cpa, cpb)]`` (callpoint ids, ``cpa < cpb``) holds that leaf
+    pair's per-interval distance terms for the intervals evaluated so
+    far.  Because the pool distance is a per-interval sum and sealed
+    intervals' curves never change (the online epoch contract), a
+    re-cluster after new intervals arrive only needs the *new* term
+    columns; everything else is replayed from the cache.
+
+    The caller owns the contract that cached intervals are final: feed
+    the cache profiles whose previously-seen intervals changed and the
+    replayed distances are stale.  Grid changes and shrinking interval
+    counts are detected and drop the cache wholesale.
+    """
+
+    grid: tuple[int, int] | None = None
+    terms: dict[tuple[int, int], np.ndarray] = field(default_factory=dict)
+
+    def invalidate(self) -> None:
+        """Drop everything (grid change, non-incremental profile)."""
+        self.grid = None
+        self.terms.clear()
 
 
 def _pool_label(names: dict[int, str], cluster) -> str:
@@ -273,6 +333,184 @@ class WhirlToolAnalyzer:
             accesses[new] = accesses[ci] + accesses[cj]
             # The merged pool's miss rows (combined model + the MissCurve
             # monotone/clip normalization), used only to derive rates.
+            merged_misses = combine_rate_rows(rates[ci], rates[cj])
+            merged_misses *= instr[new][:, None]
+            np.minimum.accumulate(merged_misses, axis=1, out=merged_misses)
+            np.clip(merged_misses, 0.0, None, out=merged_misses)
+            rates[new] = merged_misses / np.maximum(instr[new], 1e-12)[:, None]
+            for t in range(n_intervals):
+                hulls[new, t] = _lower_convex_hull_fast(rates[new, t])
+            alive[ci] = alive[cj] = False
+            survivors = np.flatnonzero(alive)
+            alive[new] = True
+            if len(survivors):
+                row = pair_distances(
+                    np.full(len(survivors), new), survivors
+                )
+                dist[new, survivors] = row
+                dist[survivors, new] = row
+        return result
+
+    def cluster_incremental(
+        self, profile: CallpointProfile, cache: IncrementalClusterCache
+    ) -> ClusteringResult:
+        """Re-cluster a growing profile, reusing cached leaf-pair terms.
+
+        The online engine: when a profile gains intervals (sealed
+        epochs) between re-clusters, the initial pair-distance table —
+        the O(pairs × intervals) bulk of :meth:`cluster` — only needs
+        the *new* interval columns; previously evaluated terms replay
+        from ``cache``.  The merge phase always runs fresh (merged
+        pools' curves depend on every interval).
+
+        Bit-identical to :meth:`cluster` on the same profile — merge
+        order, distances, tie-breaks — because per-lane terms are
+        batch-composition-independent (:func:`_lane_area_terms`) and
+        the per-pair total accumulates in the same interval order.
+        Degenerate profiles (ragged series, mismatched grids, <= 1
+        leaf) drop the cache and fall back to :meth:`cluster`, which
+        itself falls back to :meth:`cluster_reference`.
+        """
+        order = sorted(profile.curves)
+        n_leaves = len(order)
+        series = [profile.curves[cp] for cp in order]
+        flat = [c for s in series for c in s]
+        n_intervals = len(series[0]) if series else 0
+        if (
+            n_leaves <= 1
+            or n_intervals == 0
+            or any(len(s) != n_intervals for s in series)
+            or any(
+                c.chunk_bytes != flat[0].chunk_bytes
+                or c.n_chunks != flat[0].n_chunks
+                for c in flat
+            )
+        ):
+            cache.invalidate()
+            return self.cluster(profile)
+
+        width = flat[0].n_chunks + 1
+        grid = (flat[0].chunk_bytes, flat[0].n_chunks)
+        if cache.grid != grid or any(
+            len(v) > n_intervals for v in cache.terms.values()
+        ):
+            cache.invalidate()
+            cache.grid = grid
+
+        # Per-cluster state, exactly as in cluster().
+        total_clusters = 2 * n_leaves - 1
+        instr = np.empty((total_clusters, n_intervals))
+        accesses = np.empty((total_clusters, n_intervals))
+        rates = np.empty((total_clusters, n_intervals, width))
+        hulls = np.empty((total_clusters, n_intervals, width))
+        members: list[frozenset] = [frozenset({cp}) for cp in order]
+        mins = np.empty(total_clusters, dtype=np.int64)
+        births = np.zeros(total_clusters, dtype=np.int64)
+        leaf_misses = np.empty((n_intervals, width))
+        for c, (cp, s) in enumerate(zip(order, series)):
+            mins[c] = cp
+            for t, curve in enumerate(s):
+                leaf_misses[t] = curve.misses
+                instr[c, t] = curve.instructions
+                accesses[c, t] = curve.accesses
+            rates[c] = leaf_misses / np.maximum(instr[c], 1e-12)[:, None]
+            for t in range(n_intervals):
+                hulls[c, t] = _lower_convex_hull_fast(rates[c, t])
+
+        def pair_distances(ia: np.ndarray, ib: np.ndarray) -> np.ndarray:
+            """Same batched pool_distance as cluster()'s closure."""
+            total = np.zeros(len(ia))
+            active = (accesses[ia] > 0) & (accesses[ib] > 0)
+            lane_p, lane_t = np.nonzero(active)
+            if len(lane_p) == 0:
+                return total
+            vals = _lane_area_terms(
+                rates[ia[lane_p], lane_t],
+                rates[ib[lane_p], lane_t],
+                hulls[ia[lane_p], lane_t],
+                hulls[ib[lane_p], lane_t],
+                np.maximum(
+                    instr[ia[lane_p], lane_t], instr[ib[lane_p], lane_t]
+                ),
+            )
+            terms = np.zeros((len(ia), n_intervals))
+            terms[lane_p, lane_t] = vals
+            for t in range(n_intervals):
+                total = total + terms[:, t]
+            return total
+
+        def term_column(ia: np.ndarray, ib: np.ndarray, t: int) -> np.ndarray:
+            """One interval's terms for a batch of leaf pairs."""
+            col = np.zeros(len(ia))
+            act = np.nonzero((accesses[ia, t] > 0) & (accesses[ib, t] > 0))[0]
+            if len(act) == 0:
+                return col
+            col[act] = _lane_area_terms(
+                rates[ia[act], t],
+                rates[ib[act], t],
+                hulls[ia[act], t],
+                hulls[ib[act], t],
+                np.maximum(instr[ia[act], t], instr[ib[act], t]),
+            )
+            return col
+
+        # Leaf-pair term matrix: cached prefixes + freshly computed
+        # columns for intervals each pair has not seen yet.
+        ii, jj = np.triu_indices(n_leaves, k=1)
+        keys = [(order[i], order[j]) for i, j in zip(ii.tolist(), jj.tolist())]
+        lens = np.zeros(len(keys), dtype=np.int64)
+        term_matrix = np.zeros((len(keys), n_intervals))
+        for k, key in enumerate(keys):
+            got = cache.terms.get(key)
+            if got is not None and len(got):
+                lens[k] = len(got)
+                term_matrix[k, : lens[k]] = got
+        for t in range(n_intervals):
+            need = np.nonzero(lens <= t)[0]
+            if len(need):
+                term_matrix[need, t] = term_column(ii[need], jj[need], t)
+        for k, key in enumerate(keys):
+            if lens[k] < n_intervals:
+                cache.terms[key] = term_matrix[k].copy()
+        init = np.zeros(len(keys))
+        for t in range(n_intervals):
+            init = init + term_matrix[:, t]
+
+        # Merge phase: identical to cluster() from here on.
+        dist = np.full((total_clusters, total_clusters), np.inf)
+        dist[ii, jj] = init
+        dist[jj, ii] = init
+        alive = np.zeros(total_clusters, dtype=bool)
+        alive[:n_leaves] = True
+
+        result = ClusteringResult(
+            callpoints=profile.callpoints, names=dict(profile.names)
+        )
+        for step in range(1, n_leaves):
+            live = np.flatnonzero(alive)
+            sub = dist[np.ix_(live, live)]
+            iu, ju = np.triu_indices(len(live), k=1)
+            vals = sub[iu, ju]
+            d_min = vals.min()
+            ties = np.flatnonzero(vals == d_min)
+            lo = np.minimum(mins[live[iu[ties]]], mins[live[ju[ties]]])
+            hi = np.maximum(mins[live[iu[ties]]], mins[live[ju[ties]]])
+            pick = ties[np.lexsort((hi, lo))[0]]
+            ci, cj = live[iu[pick]], live[ju[pick]]
+            if births[ci] == 0 and births[cj] == 0:
+                a_id, b_id = (ci, cj) if mins[ci] < mins[cj] else (cj, ci)
+            else:
+                a_id, b_id = (ci, cj) if births[ci] > births[cj] else (cj, ci)
+            result.merges.append(
+                (members[a_id], members[b_id], float(d_min))
+            )
+
+            new = n_leaves + step - 1
+            members.append(members[ci] | members[cj])
+            mins[new] = min(mins[ci], mins[cj])
+            births[new] = step
+            instr[new] = np.maximum(instr[ci], instr[cj])
+            accesses[new] = accesses[ci] + accesses[cj]
             merged_misses = combine_rate_rows(rates[ci], rates[cj])
             merged_misses *= instr[new][:, None]
             np.minimum.accumulate(merged_misses, axis=1, out=merged_misses)

@@ -250,7 +250,16 @@ def interp_rows(matrix: np.ndarray, pos: np.ndarray) -> np.ndarray:
     scalar interpolation loop (the combine model's read heads, scheme
     accounting) goes through this helper so the float expressions stay
     bit-identical to the serial oracles.
+
+    The domain contract also matches :meth:`MissCurve.misses_at`
+    exactly: positions past the final column clamp to it, and negative
+    positions raise.  (Int truncation rounds negatives toward zero, so
+    without the check a below-domain query would silently *extrapolate*
+    off the first segment — diverging from the serial oracle it is
+    pinned against.)
     """
+    if bool((pos < 0).any()):
+        raise ValueError("pos must be non-negative")
     n = matrix.shape[1] - 1
     if n == 0:
         return matrix[:, -1].copy()

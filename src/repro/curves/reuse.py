@@ -36,6 +36,7 @@ from repro.curves.fenwick import FenwickTree
 from repro.curves.miss_curve import MissCurve
 
 __all__ = [
+    "IntervalBucketAccumulator",
     "StackDistanceProfiler",
     "distance_bucket_counts",
     "miss_curve_from_bucket_counts",
@@ -376,6 +377,122 @@ def miss_curve_from_bucket_counts(
         accesses=float(n_accesses) * scale,
         instructions=instructions,
     )
+
+
+class IntervalBucketAccumulator:
+    """Grow-able per-interval bucket-count accumulation for one stream.
+
+    The additive integer state behind the out-of-core and online
+    profiling engines: per profiling interval, a distance-bucket
+    histogram (:func:`distance_bucket_counts`), cold/sampled counters,
+    and the unsampled access count.  Because every field is a plain
+    integer count, accumulation commutes — chunks can arrive in any
+    split — and new interval rows can be *appended* while earlier ones
+    keep accumulating, which is what lets an online profiler open
+    epochs as data arrives instead of fixing the interval grid up
+    front.  :meth:`interval_curve` finalizes one interval through
+    :func:`miss_curve_from_bucket_counts` plus the engines' shared
+    unsampled-access rescale, bit-identical to bucketing that
+    interval's distances in a single call.
+    """
+
+    def __init__(self, n_chunks: int, n_intervals: int = 0) -> None:
+        if n_chunks < 0:
+            raise ValueError(f"n_chunks must be >= 0, got {n_chunks}")
+        if n_intervals < 0:
+            raise ValueError(f"n_intervals must be >= 0, got {n_intervals}")
+        self.n_chunks = n_chunks
+        self.hist = np.zeros((n_intervals, n_chunks + 2), dtype=np.int64)
+        self.cold = np.zeros(n_intervals, dtype=np.int64)
+        self.sampled = np.zeros(n_intervals, dtype=np.int64)
+        self.accesses = np.zeros(n_intervals, dtype=np.int64)
+
+    @property
+    def n_intervals(self) -> int:
+        """Interval rows currently open."""
+        return len(self.cold)
+
+    def ensure_intervals(self, n_intervals: int) -> None:
+        """Grow (never shrink) to ``n_intervals`` zero-initialized rows."""
+        grow = n_intervals - self.n_intervals
+        if grow <= 0:
+            return
+        self.hist = np.vstack(
+            [self.hist, np.zeros((grow, self.n_chunks + 2), dtype=np.int64)]
+        )
+        zeros = np.zeros(grow, dtype=np.int64)
+        self.cold = np.concatenate([self.cold, zeros])
+        self.sampled = np.concatenate([self.sampled, zeros])
+        self.accesses = np.concatenate([self.accesses, zeros])
+
+    def add_accesses(self, interval: int, count: int) -> None:
+        """Count ``count`` unsampled accesses into ``interval``."""
+        self.accesses[interval] += count
+
+    def add_distances(
+        self,
+        interval: int,
+        distances: np.ndarray,
+        chunk_bytes: int,
+        line_bytes: int = 64,
+        distance_scale: float = 1.0,
+    ) -> None:
+        """Bucket one batch of sampled distances into ``interval``."""
+        h, n_cold, n_acc = distance_bucket_counts(
+            distances,
+            chunk_bytes,
+            self.n_chunks,
+            line_bytes,
+            distance_scale=distance_scale,
+        )
+        self.hist[interval] += h
+        self.cold[interval] += n_cold
+        self.sampled[interval] += n_acc
+
+    def interval_curve(
+        self,
+        interval: int,
+        chunk_bytes: int,
+        instructions: float,
+        scale: float = 1.0,
+    ) -> MissCurve:
+        """Finalize one interval's counts into a :class:`MissCurve`.
+
+        Shares the float pipeline (and the exact operation order) of
+        :class:`StackDistanceProfiler.profile`: bucket counts finalize
+        through :func:`miss_curve_from_bucket_counts`, then the access
+        count is rescaled to the true unsampled count so APKI stays
+        exact under address sampling.  Intervals with no sampled access
+        degrade to the flat all-miss curve, exactly like the in-memory
+        engine.
+        """
+        n_acc = int(self.accesses[interval])
+        n_samp = int(self.sampled[interval])
+        if n_samp > 0:
+            curve = miss_curve_from_bucket_counts(
+                self.hist[interval],
+                int(self.cold[interval]),
+                n_samp,
+                chunk_bytes,
+                self.n_chunks,
+                instructions,
+                scale=scale,
+            )
+            # Same unsampled-access rescale as the in-memory engine, in
+            # the same operation order.
+            ratio = n_acc / curve.accesses
+            return MissCurve(
+                misses=curve.misses * ratio,
+                chunk_bytes=curve.chunk_bytes,
+                accesses=float(n_acc),
+                instructions=curve.instructions,
+            )
+        return MissCurve(
+            misses=np.full(self.n_chunks + 1, float(n_acc)),
+            chunk_bytes=chunk_bytes,
+            accesses=float(n_acc),
+            instructions=instructions,
+        )
 
 
 class StackDistanceProfiler:

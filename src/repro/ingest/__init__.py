@@ -16,6 +16,11 @@ The pipeline::
 and, for traces too large to hold in memory,
 :class:`StreamingStackProfiler` profiles straight off the chunk stream,
 bit-identical to the in-memory engine.
+
+Live traffic is ingested the same way: :func:`open_stream_source`
+follows a growing text trace (or stdin) as an *unbounded*
+:class:`IterableSource` (``n_records is None``), and :func:`run_watch`
+classifies it epoch-by-epoch (``python -m repro ingest watch``).
 """
 
 from repro.ingest.attribute import FALLBACK_NAME, AttributionTable
@@ -43,10 +48,12 @@ from repro.ingest.pipeline import (
 from repro.ingest.source import (
     DEFAULT_CHUNK_RECORDS,
     ArraySource,
+    IterableSource,
     TraceChunk,
     TraceSource,
 )
-from repro.ingest.stream import StreamingStackProfiler
+from repro.ingest.stream import StreamingProfile, StreamingStackProfiler
+from repro.ingest.watch import follow_lines, open_stream_source, run_watch
 
 __all__ = [
     "ArraySource",
@@ -56,21 +63,26 @@ __all__ = [
     "DEFAULT_CHUNK_RECORDS",
     "FALLBACK_NAME",
     "FORMATS",
+    "IterableSource",
     "JSONLSource",
     "LackeySource",
     "MTraceSource",
     "RTraceSource",
     "RTraceWriter",
+    "StreamingProfile",
     "StreamingStackProfiler",
     "TraceChunk",
     "TraceSource",
     "WRITERS",
     "convert_to_rtrace",
     "detect_format",
+    "follow_lines",
     "load_workload",
     "materialize",
+    "open_stream_source",
     "open_trace_source",
     "register_format",
     "resolve_instructions",
+    "run_watch",
     "write_trace_file",
 ]

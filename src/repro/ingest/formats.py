@@ -673,6 +673,14 @@ def _write_lackey(path: Path, source: TraceSource, max_records: int) -> None:
 
 
 def _write_mtrace(path: Path, source: TraceSource, max_records: int) -> None:
+    if source.n_records is None:
+        # The header carries an exact record count, which an unbounded
+        # source cannot declare up front.
+        raise ValueError(
+            "mtrace writes a record-count header; cannot export an "
+            "unbounded source (n_records is None) — convert to a sized "
+            "format (csv/jsonl/rtrace) instead"
+        )
     try:
         with open(path, "wb") as f:
             f.write(_MTRACE_MAGIC)

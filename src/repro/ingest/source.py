@@ -1,13 +1,21 @@
 """The chunk-iterator protocol external trace readers implement.
 
-A :class:`TraceSource` is a *sized, replayable* stream of memory
-accesses: it knows how many records it holds, and :meth:`chunks` can be
-called repeatedly, each call yielding the whole trace again as bounded
-:class:`TraceChunk` batches.  Everything downstream — region
-attribution, out-of-core profiling, format conversion — consumes this
-protocol, so adding a trace format means writing one reader class and
-registering it (see :mod:`repro.ingest.formats`), exactly the pluggable
-source/pipeline idiom of instrumentation frameworks.
+A :class:`TraceSource` is a stream of memory accesses delivered as
+bounded :class:`TraceChunk` batches.  File-backed readers are *sized
+and replayable*: they know how many records they hold (``n_records``),
+and :meth:`chunks` can be called repeatedly, each call yielding the
+whole trace again.  Live streams (a growing file, a pipe, a generator)
+cannot know their length up front, so the protocol also admits
+*unbounded* sources — ``n_records`` is ``None`` and :meth:`chunks` may
+be one-shot (:class:`IterableSource`).  Consumers that need equal-width
+interval windows (``profile_source``, format writers with record-count
+headers) require a sized source and raise a clear error otherwise;
+record-at-a-time consumers (``materialize``, validation, the online
+classifier's open-ended epochs) accept both.  Everything downstream —
+region attribution, out-of-core profiling, format conversion — consumes
+this protocol, so adding a trace format means writing one reader class
+and registering it (see :mod:`repro.ingest.formats`), exactly the
+pluggable source/pipeline idiom of instrumentation frameworks.
 
 Addresses are *byte* addresses: line granularity is a consumer decision
 (``addr // line_bytes``), and region attribution needs byte-accurate
@@ -18,14 +26,20 @@ ranges.  Sources that are natively line-granular (``.rtrace``) expose
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterator, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Iterable, Iterator, Protocol, runtime_checkable
 
 import numpy as np
 
 if TYPE_CHECKING:
     from repro.workloads.trace import Trace
 
-__all__ = ["ArraySource", "TraceChunk", "TraceSource", "DEFAULT_CHUNK_RECORDS"]
+__all__ = [
+    "ArraySource",
+    "IterableSource",
+    "TraceChunk",
+    "TraceSource",
+    "DEFAULT_CHUNK_RECORDS",
+]
 
 #: Default records per chunk (~16 MB of int64 addresses).
 DEFAULT_CHUNK_RECORDS = 1 << 21
@@ -71,9 +85,13 @@ class TraceSource(Protocol):
     """What every pluggable trace reader provides.
 
     Attributes:
-        n_records: total data records (known up front; text formats
-            pre-scan once on open so interval windowing and progress
-            reporting never need a second guess).
+        n_records: total data records, or None for unbounded sources
+            (live streams whose length is unknowable up front).  Sized
+            file formats pre-scan once on open so interval windowing
+            and progress reporting never need a second guess; consumers
+            that require a sized source (equal-width interval grids,
+            record-count file headers) must check for None and raise a
+            clear error rather than windowing a live stream.
         line_bytes: cache-line size the trace should be profiled at.
         instructions: total instructions the trace represents, or None
             when the capture carries no instruction information.
@@ -81,7 +99,7 @@ class TraceSource(Protocol):
             unattributed).
     """
 
-    n_records: int
+    n_records: int | None
     line_bytes: int
     instructions: float | None
     region_names: dict[int, str]
@@ -151,3 +169,59 @@ class ArraySource:
                     self._regions[lo:hi] if self._regions is not None else None
                 ),
             )
+
+
+class IterableSource:
+    """An *unbounded*, one-shot :class:`TraceSource` over a chunk iterable.
+
+    Wraps any iterable (typically a generator) of :class:`TraceChunk`
+    batches as a source with ``n_records = None``: the length is
+    unknowable until the underlying stream ends, which is exactly the
+    live-capture case the relaxed protocol exists for.  Because a
+    generator cannot be rewound, :meth:`chunks` may be consumed once;
+    a second call raises rather than silently replaying nothing.
+
+    Consumers that need a sized source (``profile_source``'s interval
+    windows, record-count file headers) reject this with a clear error;
+    record-at-a-time consumers — ``materialize``, ``ingest validate``,
+    :class:`repro.core.whirltool.online.OnlineWhirlTool` — stream it
+    through unchanged.
+    """
+
+    def __init__(
+        self,
+        chunk_iter: Iterable[TraceChunk],
+        line_bytes: int = 64,
+        instructions: float | None = None,
+        region_names: dict[int, str] | None = None,
+    ) -> None:
+        self._iter: Iterator[TraceChunk] | None = iter(chunk_iter)
+        self.n_records: int | None = None
+        self.line_bytes = line_bytes
+        self.instructions = instructions
+        self.region_names = dict(region_names or {})
+
+    def chunks(
+        self, max_records: int = DEFAULT_CHUNK_RECORDS
+    ) -> Iterator[TraceChunk]:
+        if max_records <= 0:
+            raise ValueError(f"max_records must be positive, got {max_records}")
+        if self._iter is None:
+            raise ValueError(
+                "IterableSource is one-shot and already consumed; wrap a "
+                "fresh iterator (or use a sized, replayable source)"
+            )
+        it, self._iter = self._iter, None
+        for chunk in it:
+            # Honor the chunk-size bound even when the producer hands
+            # over larger batches.
+            for lo in range(0, len(chunk), max_records):
+                hi = min(lo + max_records, len(chunk))
+                yield TraceChunk(
+                    addrs=chunk.addrs[lo:hi],
+                    regions=(
+                        chunk.regions[lo:hi]
+                        if chunk.regions is not None
+                        else None
+                    ),
+                )

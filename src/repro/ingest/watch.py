@@ -1,0 +1,325 @@
+"""Follow a live text trace (growing file or stdin) as an unbounded source.
+
+The ingestion side of Online Whirlpool: :func:`open_stream_source`
+turns ``stdin`` or a file that is still being written into an
+*unbounded* :class:`~repro.ingest.source.IterableSource` —
+``n_records`` is ``None`` and records are parsed as they appear — and
+:func:`run_watch` drives :class:`~repro.core.whirltool.online.
+OnlineWhirlTool` over it, emitting pool assignments as each epoch
+seals (the ``python -m repro ingest watch`` command).
+
+Only the text formats (lackey / csv / jsonl) are followable: they are
+what live instrumentation pipes emit, and they can be parsed a line at
+a time without a record count up front.  Line parsing matches the
+sized readers in :mod:`repro.ingest.formats` exactly, so a capture
+classified live and the same capture ingested after the fact see the
+same records.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Iterator, TextIO
+
+import numpy as np
+
+from repro.ingest.formats import _LACKEY_DATA_OPS, _parse_int
+from repro.ingest.source import IterableSource, TraceChunk
+
+__all__ = ["follow_lines", "open_stream_source", "run_watch"]
+
+#: Records per emitted chunk while following.
+DEFAULT_BATCH_RECORDS = 4096
+
+
+def follow_lines(
+    stream: TextIO,
+    poll_interval: float = 0.5,
+    idle_timeout: float | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> Iterator[str]:
+    """Yield lines from ``stream``, waiting for more at EOF (``tail -f``).
+
+    Args:
+        stream: a text stream positioned where following should start.
+        poll_interval: seconds to sleep between EOF re-reads.
+        idle_timeout: stop after this many seconds with no new data;
+            ``None`` follows forever (until the caller breaks), and
+            ``0`` reads exactly what is there now and stops — the mode
+            batch tests and one-shot pipes use.
+        sleep: injectable for tests.
+    """
+    idle = 0.0
+    while True:
+        line = stream.readline()
+        if line:
+            idle = 0.0
+            # A final line without a newline may still be mid-write;
+            # hold it until the writer finishes it or goes idle.
+            if not line.endswith("\n"):
+                buffered = line
+                while idle_timeout is None or idle < idle_timeout:
+                    rest = stream.readline()
+                    if rest:
+                        buffered += rest
+                        if buffered.endswith("\n"):
+                            break
+                        continue
+                    if idle_timeout == 0:
+                        break
+                    sleep(poll_interval)
+                    idle += poll_interval
+                yield buffered
+                idle = 0.0
+                continue
+            yield line
+            continue
+        if idle_timeout is not None and idle >= idle_timeout:
+            return
+        if idle_timeout == 0:
+            return
+        sleep(poll_interval)
+        idle += poll_interval
+
+
+# ----------------------------------------------------------------------
+# Line parsers (one record per text line, matching the sized readers)
+# ----------------------------------------------------------------------
+
+
+def _parse_lackey(line: str) -> tuple[int, int | None] | None:
+    s = line.strip()
+    if not s or s[0] == "=":
+        return None
+    op = s[0]
+    if op not in _LACKEY_DATA_OPS:
+        return None  # instruction fetches and noise are not data records
+    addr_text = s[1:].strip().split(",", 1)[0].strip()
+    if not addr_text:
+        raise ValueError(f"malformed lackey record: {line!r}")
+    try:
+        return int(addr_text, 16), None
+    except ValueError:
+        raise ValueError(f"malformed lackey record: {line!r}") from None
+
+
+def _parse_csv(line: str) -> tuple[int, int | None] | None:
+    s = line.strip()
+    if not s:
+        return None
+    cols = [c.strip() for c in s.split(",")]
+    try:
+        addr = _parse_int(cols[0])
+    except ValueError:
+        if cols[0].lower() in ("addr", "address"):
+            return None  # header line
+        raise ValueError(f"malformed csv record: {line!r}") from None
+    region = _parse_int(cols[1]) if len(cols) > 1 and cols[1] else None
+    return addr, region
+
+
+def _parse_jsonl(line: str) -> tuple[int, int | None] | None:
+    s = line.strip()
+    if not s:
+        return None
+    try:
+        obj = json.loads(s)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"invalid JSON record: {exc}") from None
+    if not isinstance(obj, dict) or "addr" not in obj:
+        raise ValueError(
+            f"expected an object with an 'addr' field, got {s[:60]!r}"
+        )
+    addr = obj["addr"]
+    region = obj.get("region")
+    for key, value in (("addr", addr), ("region", region)):
+        if value is not None and (
+            isinstance(value, bool) or not isinstance(value, int)
+        ):
+            raise ValueError(
+                f"{key!r} must be a JSON integer, got {value!r}"
+            )
+    return addr, region
+
+
+_PARSERS: dict[str, Callable[[str], tuple[int, int | None] | None]] = {
+    "lackey": _parse_lackey,
+    "csv": _parse_csv,
+    "jsonl": _parse_jsonl,
+}
+
+
+def _chunks_from_lines(
+    lines: Iterator[str],
+    fmt: str,
+    batch_records: int,
+) -> Iterator[TraceChunk]:
+    """Batch parsed (addr, region) records into :class:`TraceChunk`\\ s.
+
+    A chunk carries regions when *any* of its records has one (bare
+    records in a mixed stream default to region 0, like unattributed
+    sources profiled as a single region).
+    """
+    parse = _PARSERS[fmt]
+    addrs: list[int] = []
+    regions: list[int] = []
+    saw_region = False
+    for line in lines:
+        rec = parse(line)
+        if rec is None:
+            continue
+        addr, region = rec
+        addrs.append(addr)
+        regions.append(region if region is not None else 0)
+        saw_region = saw_region or region is not None
+        if len(addrs) >= batch_records:
+            yield _chunk(addrs, regions, saw_region)
+            addrs, regions = [], []
+    if addrs:
+        yield _chunk(addrs, regions, saw_region)
+
+
+def _chunk(
+    addrs: list[int], regions: list[int], saw_region: bool
+) -> TraceChunk:
+    return TraceChunk(
+        addrs=np.array(addrs, dtype=np.int64),
+        regions=np.array(regions, dtype=np.int32) if saw_region else None,
+    )
+
+
+def open_stream_source(
+    path: str,
+    fmt: str,
+    line_bytes: int = 64,
+    batch_records: int = DEFAULT_BATCH_RECORDS,
+    poll_interval: float = 0.5,
+    idle_timeout: float | None = None,
+    stream: TextIO | None = None,
+) -> IterableSource:
+    """Open a live text trace as an unbounded (one-shot) source.
+
+    Args:
+        path: file to follow, or ``"-"`` for stdin (stdin is a pipe:
+            EOF ends the stream, no polling).
+        fmt: one of ``lackey`` / ``csv`` / ``jsonl`` (live streams
+            cannot be sized or content-sniffed, so the format is
+            explicit).
+        line_bytes: cache-line size to profile at.
+        batch_records: records per emitted chunk.
+        poll_interval: seconds between EOF re-reads when following a
+            file.
+        idle_timeout: stop after this long with no new data (``None``:
+            follow until interrupted; ``0``: read once to EOF).
+        stream: pre-opened text stream (tests); overrides ``path``.
+    """
+    if fmt not in _PARSERS:
+        raise ValueError(
+            f"cannot follow format {fmt!r}; followable formats: "
+            f"{', '.join(sorted(_PARSERS))}"
+        )
+    if batch_records <= 0:
+        raise ValueError(
+            f"batch_records must be positive, got {batch_records}"
+        )
+
+    def _gen() -> Iterator[TraceChunk]:
+        if stream is not None:
+            f = stream
+            close = False
+        elif path == "-":
+            f = sys.stdin
+            close = False
+        else:
+            f = open(Path(path), "r", errors="replace")
+            close = True
+        # A pipe's EOF is final: never poll stdin.
+        timeout = 0.0 if f is sys.stdin else idle_timeout
+        try:
+            yield from _chunks_from_lines(
+                follow_lines(f, poll_interval, timeout), fmt, batch_records
+            )
+        finally:
+            if close:
+                f.close()
+
+    return IterableSource(_gen(), line_bytes=line_bytes)
+
+
+def run_watch(
+    source: IterableSource,
+    epoch_records: int,
+    n_pools: int = 3,
+    chunk_bytes: int = 64 * 1024,
+    n_chunks: int = 400,
+    sample_shift: int = 3,
+    out: TextIO | None = None,
+) -> int:
+    """Classify a live stream, printing pool assignments per epoch.
+
+    Returns a process exit code.  An interrupt (Ctrl-C) finalizes
+    cleanly: the partial trailing epoch is sealed and the final pools
+    printed before returning.
+    """
+    from repro.core.whirltool.online import OnlineWhirlTool
+
+    out = out if out is not None else sys.stdout
+    tool = OnlineWhirlTool(
+        chunk_bytes=chunk_bytes,
+        n_chunks=n_chunks,
+        sample_shift=sample_shift,
+        n_pools=n_pools,
+        epoch_records=epoch_records,
+    )
+    tool.start(source)
+    names = dict(source.region_names)
+    interrupted = False
+    try:
+        for chunk in source.chunks(epoch_records):
+            for report in tool.push(chunk):
+                _print_report(report, names, out)
+    except KeyboardInterrupt:
+        interrupted = True
+    try:
+        result = tool.finish()
+    except ValueError as exc:
+        print(f"ingest watch failed: {exc}", file=sys.stderr)
+        return 2
+    label = "interrupted" if interrupted else "end of stream"
+    print(
+        f"{label}: {tool.sealed_epochs} epochs, final pools:", file=out
+    )
+    for line in _pool_lines(result.assignments(n_pools), names):
+        print(f"  {line}", file=out)
+    return 0
+
+
+def _print_report(report, names: dict[int, str], out: TextIO) -> None:
+    tags = []
+    if report.phase_change:
+        tags.append("phase-change")
+    if report.reclustered:
+        tags.append("reclustered")
+    tag = f" [{', '.join(tags)}]" if tags else ""
+    print(
+        f"epoch {report.epoch}  records<={report.end_record}{tag}",
+        file=out,
+    )
+    if report.assignments is not None:
+        for line in _pool_lines(report.assignments, names):
+            print(f"  {line}", file=out)
+
+
+def _pool_lines(
+    assignments: dict[int, int], names: dict[int, str]
+) -> list[str]:
+    pools: dict[int, list[str]] = {}
+    for cp, pool in assignments.items():
+        pools.setdefault(pool, []).append(names.get(cp, str(cp)))
+    return [
+        f"pool {pool}: {', '.join(sorted(members))}"
+        for pool, members in sorted(pools.items())
+    ]

@@ -15,8 +15,10 @@ from hypothesis import strategies as st
 from repro.curves.reuse import StackDistanceProfiler
 from repro.ingest import (
     ArraySource,
+    IterableSource,
     RTraceSource,
     StreamingStackProfiler,
+    TraceChunk,
     convert_to_rtrace,
 )
 from repro.sim.profiling import profile_vcs
@@ -185,3 +187,179 @@ class TestStreamingErrors:
             StreamingStackProfiler(chunk_bytes=512, n_chunks=4).profile_source(
                 source, chunk_records=30
             )
+
+    def test_overlong_source_rejected(self):
+        class Long(ArraySource):
+            def chunks(self, max_records=1 << 21):
+                yield from super().chunks(max_records)
+                yield TraceChunk(addrs=np.array([64, 128], dtype=np.int64))
+
+        source = Long(addrs=np.arange(100) * 64, instructions=1000.0)
+        with pytest.raises(ValueError, match="more than its declared"):
+            StreamingStackProfiler(chunk_bytes=512, n_chunks=4).profile_source(
+                source, chunk_records=30
+            )
+
+    def test_zero_record_source_rejected(self):
+        # Regression: used to return silently-empty curve dicts.
+        source = ArraySource(
+            addrs=np.array([], dtype=np.int64), instructions=10.0
+        )
+        with pytest.raises(ValueError, match="source yielded no records"):
+            StreamingStackProfiler(chunk_bytes=512, n_chunks=4).profile_source(
+                source
+            )
+
+    def test_unbounded_source_rejected(self):
+        def gen():
+            yield TraceChunk(addrs=np.array([64, 128], dtype=np.int64))
+
+        source = IterableSource(gen(), instructions=100.0)
+        with pytest.raises(ValueError, match="unbounded"):
+            StreamingStackProfiler(chunk_bytes=512, n_chunks=4).profile_source(
+                source
+            )
+
+    def test_bad_n_intervals_rejected(self):
+        source = ArraySource(addrs=np.arange(10) * 64, instructions=100.0)
+        with pytest.raises(ValueError, match="n_intervals"):
+            StreamingStackProfiler(chunk_bytes=512, n_chunks=4).profile_source(
+                source, n_intervals=0
+            )
+
+
+class TestIntervalBoundaries:
+    """Satellite pins for ``_count_accesses`` / ``_accumulate`` edges.
+
+    The audit of the chunk-straddles-interval-boundary arithmetic found
+    no off-by-one, so these pin the cases it checked: a chunk ending
+    exactly on an interval bound, single-record chunks, and empty
+    intervals (``n_intervals > n_records`` makes ``linspace`` repeat
+    bounds).
+    """
+
+    def test_chunk_ends_exactly_on_interval_bound(self):
+        # n=120, 4 intervals -> bounds at 0/30/60/90/120; chunk=30 makes
+        # every chunk boundary coincide with an interval boundary.
+        rng = np.random.default_rng(7)
+        n = 120
+        run_both(
+            rng.integers(0, 30, n).astype(np.int64),
+            rng.integers(0, 3, n).astype(np.int32),
+            n * 2.0,
+            n_intervals=4,
+            chunk=30,
+            shift=0,
+        )
+
+    def test_single_record_chunks_across_bounds(self):
+        rng = np.random.default_rng(8)
+        n = 23
+        run_both(
+            rng.integers(0, 10, n).astype(np.int64),
+            rng.integers(0, 2, n).astype(np.int32),
+            n * 2.0,
+            n_intervals=7,
+            chunk=1,
+            shift=0,
+        )
+
+    def test_more_intervals_than_records(self):
+        # linspace(0, 5, 17) repeats bounds -> empty intervals between
+        # t0 and t1; streaming must emit the same zero-access curves the
+        # in-memory engine does.
+        rng = np.random.default_rng(9)
+        n = 5
+        for chunk in (1, 2, 64):
+            run_both(
+                rng.integers(0, 6, n).astype(np.int64),
+                rng.integers(0, 2, n).astype(np.int32),
+                n * 3.0,
+                n_intervals=16,
+                chunk=chunk,
+                shift=0,
+            )
+
+    def test_access_counts_per_interval_match_repeat_semantics(self):
+        # Offline interval ids are np.repeat over np.diff(bounds); pin
+        # the streaming access tallies against that directly.
+        lines = np.arange(10, dtype=np.int64)
+        regions = np.zeros(10, dtype=np.int32)
+        n_intervals = 3
+        bounds = np.linspace(0, 10, n_intervals + 1).astype(np.int64)
+        interval_of = np.repeat(np.arange(n_intervals), np.diff(bounds))
+        want = np.bincount(interval_of, minlength=n_intervals)
+        prof = StreamingStackProfiler(chunk_bytes=512, n_chunks=4).begin(
+            bounds
+        )
+        for start in range(0, 10, 3):  # chunk=3 straddles both bounds
+            prof.push_chunk(
+                TraceChunk(
+                    addrs=lines[start : start + 3] * 64,
+                    regions=regions[start : start + 3],
+                )
+            )
+        got = prof._acc[0].accesses[:n_intervals]
+        assert np.array_equal(got, want)
+
+
+class TestOpenEndedEpochs:
+    """``begin()`` + ``open_interval`` equals the sized one-shot path."""
+
+    def test_manual_epochs_match_profile_source(self):
+        rng = np.random.default_rng(11)
+        n = 400
+        lines = rng.integers(0, 40, n).astype(np.int64)
+        regions = rng.integers(0, 3, n).astype(np.int32)
+        kw = dict(chunk_bytes=512, n_chunks=9, line_bytes=64, sample_shift=0)
+        want = StreamingStackProfiler(**kw).profile_source(
+            ArraySource(addrs=lines * 64, regions=regions, instructions=n * 4.0),
+            n_intervals=4,
+            chunk_records=64,
+        )
+        prof = StreamingStackProfiler(**kw).begin()
+        for end in np.linspace(0, n, 5).astype(np.int64)[1:]:
+            prof.open_interval(int(end))
+        for start in range(0, n, 64):
+            prof.push_chunk(
+                TraceChunk(
+                    addrs=lines[start : start + 64] * 64,
+                    regions=regions[start : start + 64],
+                )
+            )
+        assert_identical(prof.finalize(n * 4.0), want)
+
+    def test_push_past_open_bound_rejected(self):
+        prof = StreamingStackProfiler(chunk_bytes=512, n_chunks=4).begin()
+        prof.open_interval(3)
+        with pytest.raises(ValueError, match="open_interval"):
+            prof.push_chunk(
+                TraceChunk(addrs=np.array([0, 64, 128, 192], dtype=np.int64))
+            )
+
+    def test_open_interval_must_extend(self):
+        prof = StreamingStackProfiler(chunk_bytes=512, n_chunks=4).begin()
+        prof.open_interval(5)
+        with pytest.raises(ValueError, match="extend"):
+            prof.open_interval(5)
+
+
+class TestIterableSource:
+    def test_one_shot_replay_rejected(self):
+        def gen():
+            yield TraceChunk(addrs=np.array([64], dtype=np.int64))
+
+        source = IterableSource(gen())
+        assert source.n_records is None
+        list(source.chunks())
+        with pytest.raises(ValueError, match="one-shot"):
+            list(source.chunks())
+
+    def test_oversized_producer_chunks_are_split(self):
+        def gen():
+            yield TraceChunk(addrs=np.arange(10, dtype=np.int64) * 64)
+
+        got = list(IterableSource(gen()).chunks(max_records=4))
+        assert [len(c) for c in got] == [4, 4, 2]
+        joined = np.concatenate([c.addrs for c in got])
+        assert np.array_equal(joined, np.arange(10) * 64)

@@ -6,6 +6,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.curves import MissCurve
+from repro.curves.miss_curve import interp_rows
 
 
 def curve(values, chunk=1024, accesses=None, instr=1000.0):
@@ -60,6 +61,56 @@ class TestEvaluation:
     def test_apki(self):
         c = curve([10, 2], accesses=50.0, instr=1000.0)
         assert c.apki == 50.0
+
+    def test_clamp_starts_exactly_at_last_column(self):
+        # pos == n_chunks is the first out-of-domain point; it must
+        # already take the clamp branch, not index past the array.
+        c = curve([10, 6, 2])  # n_chunks == 2, grid ends at 2048
+        assert c.misses_at(2 * 1024) == 2
+        assert c.misses_at(2 * 1024 + 1) == 2
+
+
+class TestInterpRows:
+    """``interp_rows`` must share ``misses_at``'s exact domain contract."""
+
+    def test_matches_misses_at_including_boundaries(self):
+        c = curve([10.0, 6.0, 2.0])
+        matrix = np.tile(c.misses, (6, 1))
+        sizes = np.array([0.0, 512.0, 1024.0, 2047.0, 2048.0, 1e9])
+        pos = sizes / c.chunk_bytes
+        got = interp_rows(matrix, pos)
+        want = np.array([c.misses_at(s) for s in sizes])
+        assert np.array_equal(got, want)
+
+    def test_negative_pos_rejected(self):
+        # Regression: int truncation rounds toward zero, so a negative
+        # position used to silently extrapolate off the first segment
+        # instead of raising like the serial oracle.
+        with pytest.raises(ValueError, match="non-negative"):
+            interp_rows(np.ones((2, 3)), np.array([0.5, -0.25]))
+
+    def test_misses_at_negative_rejected_same_way(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            curve([1, 0]).misses_at(-1e-9)
+
+    def test_single_column_matrix_clamps(self):
+        matrix = np.array([[7.0], [3.0]])
+        got = interp_rows(matrix, np.array([0.0, 123.0]))
+        assert np.array_equal(got, np.array([7.0, 3.0]))
+
+    @given(
+        values=st.lists(
+            st.floats(0, 100, allow_nan=False), min_size=2, max_size=12
+        ),
+        frac=st.floats(0, 1, exclude_max=True, allow_nan=False),
+    )
+    def test_property_row_equals_scalar(self, values, frac):
+        c = curve(values)
+        size = frac * c.n_chunks * c.chunk_bytes
+        got = interp_rows(
+            c.misses[None, :], np.array([size / c.chunk_bytes])
+        )[0]
+        assert got == c.misses_at(size)
 
 
 class TestTransforms:
