@@ -9,7 +9,9 @@ Commands
 - ``parallel`` — run a Fig-13 parallel app under all four configs.
 - ``config`` — print the Table-3 system configuration.
 - ``campaign`` — submit/resume/inspect experiment grids (``repro.exp``);
-  the ``mixes`` action runs resumable Fig-22-style mix grids.
+  the ``mixes`` action runs resumable Fig-22-style mix grids, and
+  ``quarantine list|retry|clear`` manages jobs parked after exhausting
+  their retry budget.
 - ``ingest`` — convert/inspect/validate/register external memory traces
   (``repro.ingest``); registered traces become first-class workloads.
 - ``store`` — status/gc/verify/compact of the content-addressed
@@ -183,7 +185,14 @@ def _cmd_campaign_mixes(args: argparse.Namespace) -> int:
     # Same submit/resume semantics as plain campaigns: the store skips
     # every job that already has a result, so re-running after an
     # interruption executes exactly the missing cells.
-    report = run_campaign(campaign, args.store, workers=args.workers, strict=False)
+    report = run_campaign(
+        campaign,
+        args.store,
+        workers=args.workers,
+        strict=False,
+        retry=_retry_policy(args),
+        job_timeout=args.job_timeout,
+    )
     print(
         f"{campaign.name}: {report.executed} executed, "
         f"{report.skipped} skipped, {len(report.failures)} failed"
@@ -194,11 +203,83 @@ def _cmd_campaign_mixes(args: argparse.Namespace) -> int:
     return 1 if report.failures else 0
 
 
+def _retry_policy(args: argparse.Namespace):
+    """The campaign retry policy the CLI flags describe."""
+    from repro.retry import RetryPolicy
+
+    return RetryPolicy(
+        max_attempts=max(1, args.max_attempts),
+        base_delay=args.retry_base_delay,
+        seed=args.retry_seed,
+    )
+
+
+def _cmd_campaign_quarantine(args: argparse.Namespace) -> int:
+    """Inspect, re-execute, or drop the store's quarantined jobs."""
+    from repro.exp import Quarantine, ResultStore, quarantine_path_for
+
+    store = ResultStore(args.store)
+    quarantine = Quarantine(quarantine_path_for(store.path))
+
+    if args.qaction == "clear":
+        n = quarantine.clear()
+        print(f"cleared {n} quarantined job(s)")
+        return 0
+
+    if args.qaction == "list":
+        if not len(quarantine):
+            print(f"no quarantined jobs for {args.store}")
+            return 0
+        rows = []
+        for entry in quarantine.entries():
+            attempts = entry.get("attempts", [])
+            kinds = ",".join(sorted({a.get("kind", "?") for a in attempts}))
+            last = attempts[-1].get("error", "") if attempts else ""
+            rows.append(
+                [entry["key"], len(attempts), kinds or "?", last[:60]]
+            )
+        print(format_table(["key", "attempts", "kinds", "last error"], rows))
+        return 0
+
+    # "retry": re-execute the parked jobs now that whatever poisoned
+    # them (a bad node, a since-fixed bug, an injected fault profile)
+    # is presumed gone; successes leave the quarantine.
+    from repro.exp import Job, run_jobs
+    from repro.exp.execute import execute_job
+
+    if not len(quarantine):
+        print(f"no quarantined jobs for {args.store}")
+        return 0
+    jobs = [Job.from_dict(entry["job"]) for entry in quarantine.entries()]
+    report = run_jobs(
+        jobs,
+        execute_job,
+        store=store,
+        workers=args.workers,
+        strict=False,
+        retry=_retry_policy(args),
+        job_timeout=args.job_timeout,
+        # No quarantine here: the parked keys must actually run.
+    )
+    recovered = [job.key() for job in jobs if job.key() in store]
+    quarantine.remove(recovered)
+    print(
+        f"retried {len(jobs)} quarantined job(s): {len(recovered)} "
+        f"recovered, {len(jobs) - len(recovered)} still failing"
+    )
+    for key, err in report.failures.items():
+        print(f"  FAILED {key}: {err}", file=sys.stderr)
+    return 1 if report.failures else 0
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.exp import Campaign, ResultStore, campaign_status, run_campaign
 
     if args.action == "mixes":
         return _cmd_campaign_mixes(args)
+
+    if args.action == "quarantine":
+        return _cmd_campaign_quarantine(args)
 
     if args.action == "export":
         store = ResultStore(args.store)
@@ -220,9 +301,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     if args.action == "status":
         status = campaign_status(campaign, args.store)
+        quarantined = (
+            f" ({status['quarantined']} quarantined)"
+            if status.get("quarantined")
+            else ""
+        )
         print(
             f"{status['name']}: {status['done']}/{status['total']} done, "
-            f"{status['pending']} pending"
+            f"{status['pending']} pending{quarantined}"
         )
         rows = [
             [scheme, row["done"], row["pending"]]
@@ -234,11 +320,21 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     # "submit" runs the missing jobs; "resume" is the same operation by
     # construction (the store skips everything already done).
     report = run_campaign(
-        campaign, args.store, workers=args.workers, strict=False
+        campaign,
+        args.store,
+        workers=args.workers,
+        strict=False,
+        retry=_retry_policy(args),
+        job_timeout=args.job_timeout,
+    )
+    retried = f", {report.retried} retried" if report.retried else ""
+    quarantined = (
+        f", {len(report.quarantined)} quarantined" if report.quarantined else ""
     )
     print(
         f"{campaign.name}: {report.executed} executed, "
         f"{report.skipped} skipped, {len(report.failures)} failed"
+        f"{retried}{quarantined}"
     )
     for key, err in report.failures.items():
         print(f"  FAILED {key}: {err}", file=sys.stderr)
@@ -704,11 +800,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_camp.add_argument(
         "action",
-        choices=["submit", "resume", "status", "export", "mixes"],
+        choices=["submit", "resume", "status", "export", "mixes", "quarantine"],
         help=(
             "submit or resume a grid, report completion, export a table, "
-            "or run a multiprogrammed-mix grid (Fig 22 at any scale)"
+            "run a multiprogrammed-mix grid (Fig 22 at any scale), or "
+            "manage quarantined poison jobs"
         ),
+    )
+    p_camp.add_argument(
+        "qaction",
+        nargs="?",
+        default="list",
+        choices=["list", "retry", "clear"],
+        help="quarantine: inspect, re-execute, or drop parked jobs",
     )
     p_camp.add_argument(
         "--spec", default=None, help="campaign spec (JSON file)"
@@ -720,6 +824,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_camp.add_argument(
         "--workers", type=int, default=1, help="process-pool size"
+    )
+    p_camp.add_argument(
+        "--max-attempts",
+        type=int,
+        default=4,
+        help="tries per job before it is quarantined (1 = no retry)",
+    )
+    p_camp.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help=(
+            "per-attempt wall-clock cap in seconds; an overrunning "
+            "worker is killed and the attempt retried (needs --workers > 1)"
+        ),
+    )
+    p_camp.add_argument(
+        "--retry-base-delay",
+        type=float,
+        default=0.05,
+        help="seconds before the first retry (doubles per attempt)",
+    )
+    p_camp.add_argument(
+        "--retry-seed",
+        type=int,
+        default=0,
+        help="seed for the deterministic retry-backoff jitter",
     )
     p_camp.add_argument(
         "--metric",

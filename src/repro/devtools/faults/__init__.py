@@ -1,0 +1,40 @@
+"""Deterministic fault injection (``repro.devtools.faults``).
+
+The chaos-testing harness: seeded, reproducible failures injected at
+named sites in the runtime — worker crashes, job hangs, transient
+``OSError`` on store/trace reads, torn ``.rtrace`` chunks, corrupted
+artifact payloads — activated by the ``$REPRO_FAULTS`` environment
+variable (inherited by process-pool workers) and inert otherwise.
+
+The instrumented code calls two hooks:
+
+- :func:`maybe_inject(site, key=..., attempt=...) <maybe_inject>` —
+  may crash the process, hang, or raise a transient ``OSError``.
+- :func:`filter_bytes(site, data, key=...) <filter_bytes>` — may
+  corrupt or truncate a payload read.
+
+See :mod:`repro.devtools.faults.plan` for the plan format, firing
+semantics, and the site catalog (:data:`SITES`).
+"""
+
+from repro.devtools.faults.plan import (
+    ENV_VAR,
+    SITES,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    filter_bytes,
+    maybe_inject,
+    reset,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "FaultPlan",
+    "FaultRule",
+    "SITES",
+    "active_plan",
+    "filter_bytes",
+    "maybe_inject",
+    "reset",
+]

@@ -6,7 +6,9 @@ The layering, bottom-up:
 - :mod:`repro.exp.store` — append-only, fingerprint-keyed result stores
   (in-memory and JSON-lines on disk).
 - :mod:`repro.exp.engine` — the generic skip-done/execute/persist loop,
-  serial or process-pooled.
+  serial or process-pooled, supervised: per-job timeouts, retry with
+  seeded backoff, broken-pool rebuild, quarantine for poison jobs.
+- :mod:`repro.exp.quarantine` — the JSONL sidecar poison jobs land in.
 - :mod:`repro.exp.campaign` — declarative (apps × schemes × configs ×
   seeds × classifiers) grids that expand into jobs.
 - :mod:`repro.exp.mixes` — multiprogrammed-mix grids (chip size × seeded
@@ -23,6 +25,7 @@ users (e.g. the sweep engine) do not pull in the whole scheme zoo.
 from repro.exp.campaign import Campaign
 from repro.exp.engine import RunReport, run_jobs
 from repro.exp.job import Job
+from repro.exp.quarantine import Quarantine, quarantine_path_for
 from repro.exp.store import MemoryStore, ResultStore
 
 __all__ = [
@@ -30,10 +33,12 @@ __all__ = [
     "Job",
     "MemoryStore",
     "MixCampaign",
+    "Quarantine",
     "RunReport",
     "ResultStore",
     "campaign_status",
     "execute_job",
+    "quarantine_path_for",
     "record_to_result",
     "result_to_record",
     "run_campaign",

@@ -6,17 +6,42 @@ record looks like.  ``repro.exp.runner`` instantiates it with name-based
 :class:`~repro.exp.job.Job` grids and process pools; ``repro.sim.sweep``
 instantiates it serially with closure-based jobs and a
 :class:`~repro.exp.store.MemoryStore`.
+
+Supervision
+-----------
+With a :class:`~repro.retry.RetryPolicy`, failed attempts are retried
+with exponential backoff and deterministic seeded jitter up to the
+policy's attempt cap; jobs that exhaust the cap are *quarantined* (a
+:class:`~repro.exp.quarantine.Quarantine` sidecar, when given) instead
+of retried forever.  With a ``job_timeout``, a job that overruns its
+wall-clock deadline has its worker killed and reaped, and the attempt
+is charged as a timeout.  A broken process pool (a worker OOM-killed or
+crashed) is detected, rebuilt, and its in-flight jobs resubmitted.
+
+Crash attribution: when the pool breaks with several jobs in flight,
+the culprit is unknowable — `concurrent.futures` fails every pending
+future identically — so nobody is charged; the interrupted jobs become
+*suspects* and re-run one at a time, where a repeat crash is
+attributable (exactly one job in flight) and charged.  Collateral
+interruptions are tracked separately and bounded, so an environment
+that keeps killing workers still terminates.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.exp.store import MemoryStore
+from repro.retry import RetryPolicy
 
 __all__ = ["RunReport", "run_jobs"]
+
+#: Legacy behavior: one attempt, no backoff.
+_SINGLE_ATTEMPT = RetryPolicy(max_attempts=1)
 
 
 @dataclass
@@ -28,17 +53,69 @@ class RunReport:
         executed: jobs actually run this call.
         skipped: jobs whose key was already in the store.
         failures: job key -> error string (only with ``strict=False``).
+        retried: resubmissions after failed or interrupted attempts.
+        quarantined: keys parked in the quarantine this call (or already
+            quarantined and therefore not executed).
     """
 
     total: int = 0
     executed: int = 0
     skipped: int = 0
     failures: dict[str, str] = field(default_factory=dict)
+    retried: int = 0
+    quarantined: list[str] = field(default_factory=list)
 
     @property
     def completed(self) -> int:
         """Jobs with a stored result after this call."""
         return self.total - len(self.failures)
+
+
+def _call_job(execute: Callable, job, key: str, attempt: int):
+    """Worker-side wrapper: consult the fault harness, then execute.
+
+    The attempt number comes from the supervisor, not worker-local
+    state, so injected faults keyed on "attempt N" stay deterministic
+    across pool rebuilds (a respawned worker has no memory).
+    """
+    from repro.devtools import faults
+
+    faults.maybe_inject("worker", key=key, attempt=attempt)
+    return execute(job)
+
+
+@dataclass
+class _JobState:
+    """Supervisor-side bookkeeping for one pending job."""
+
+    job: object
+    attempts: list[dict] = field(default_factory=list)
+    interruptions: int = 0
+    submissions: int = 0
+    ready_at: float = 0.0
+
+    def charge(self, kind: str, error: str, elapsed: float) -> None:
+        self.attempts.append(
+            {"kind": kind, "error": error, "elapsed": round(elapsed, 3)}
+        )
+
+
+def _kill_workers(pool: ProcessPoolExecutor) -> None:
+    """SIGKILL every pool process: reap hung workers that ignore SIGTERM."""
+    procs = getattr(pool, "_processes", None)
+    for proc in list((procs or {}).values()):
+        try:
+            proc.kill()
+        except (OSError, AttributeError):
+            pass
+
+
+def _reap(pool: ProcessPoolExecutor) -> None:
+    """Shut a (possibly broken) pool down, dropping queued work."""
+    try:
+        pool.shutdown(wait=True, cancel_futures=True)
+    except Exception:  # noqa: BLE001 - best-effort teardown of a broken pool
+        pass
 
 
 def run_jobs(
@@ -48,6 +125,11 @@ def run_jobs(
     workers: int = 1,
     strict: bool = True,
     progress: Callable[[str, object], None] | None = None,
+    retry: RetryPolicy | None = None,
+    job_timeout: float | None = None,
+    quarantine=None,
+    sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.monotonic,
 ) -> RunReport:
     """Execute every job not already in the store.
 
@@ -58,23 +140,41 @@ def run_jobs(
             module-level (picklable) callable and records must pickle.
         store: result store (default: a fresh :class:`MemoryStore`).
         workers: process-pool size; ``<= 1`` runs in-process.
-        strict: re-raise the first job failure (otherwise collect them
-            in the report and keep going).
+        strict: re-raise the first job failure once its retries are
+            exhausted (otherwise collect failures in the report and
+            keep going).
         progress: optional ``(job_key, job)`` callback per finished job.
+        retry: per-job retry policy (None: a single attempt, the legacy
+            behavior).
+        job_timeout: wall-clock seconds per attempt; an overrunning
+            worker is killed and the attempt charged as a timeout.
+            Requires ``workers > 1`` (the serial path cannot preempt
+            itself and ignores it).
+        quarantine: optional :class:`~repro.exp.quarantine.Quarantine`;
+            jobs that exhaust retries land there with their attempt
+            history, and already-quarantined keys are not executed.
+        sleep / clock: injectable for tests.
 
     Returns:
         A :class:`RunReport`; results live in ``store``.
     """
     if store is None:
         store = MemoryStore()
+    policy = retry if retry is not None else _SINGLE_ATTEMPT
     report = RunReport(total=len(jobs))
-    pending: dict[str, object] = {}
+    pending: dict[str, _JobState] = {}
     for job in jobs:
         key = job.key()
         if key in store:
             report.skipped += 1
+        elif quarantine is not None and key in quarantine:
+            if key not in report.failures:
+                report.failures[key] = (
+                    "quarantined (inspect with `repro campaign quarantine`)"
+                )
+                report.quarantined.append(key)
         elif key not in pending:
-            pending[key] = job
+            pending[key] = _JobState(job)
 
     def finish(key: str, job, record) -> None:
         store.add(key, record, job=job)
@@ -82,36 +182,263 @@ def run_jobs(
         if progress is not None:
             progress(key, job)
 
+    def exhaust(key: str, state: _JobState, exc: BaseException) -> None:
+        report.failures[key] = repr(exc)
+        if quarantine is not None:
+            quarantine.add(
+                key, state.job, state.attempts, state.interruptions
+            )
+            report.quarantined.append(key)
+
+    def charge(
+        key: str, state: _JobState, kind: str, exc: BaseException, elapsed: float
+    ) -> bool:
+        """Record one failed attempt; True if the job may retry."""
+        state.charge(kind, repr(exc), elapsed)
+        if len(state.attempts) >= policy.max_attempts:
+            return False
+        state.ready_at = clock() + policy.delay(key, len(state.attempts))
+        return True
+
     if workers <= 1:
-        for key, job in pending.items():
-            try:
-                record = execute(job)
-            except Exception as exc:  # noqa: BLE001 - reported per job
-                if strict:
-                    raise
-                report.failures[key] = repr(exc)
-                continue
-            finish(key, job, record)
+        for key, state in pending.items():
+            while True:
+                if state.submissions:
+                    report.retried += 1
+                state.submissions += 1
+                t0 = clock()
+                try:
+                    record = _call_job(
+                        execute, state.job, key, len(state.attempts) + 1
+                    )
+                except Exception as exc:  # noqa: BLE001 - reported per job
+                    if charge(key, state, "error", exc, clock() - t0):
+                        sleep(max(0.0, state.ready_at - clock()))
+                        continue
+                    exhaust(key, state, exc)
+                    if strict:
+                        raise
+                    break
+                finish(key, state.job, record)
+                break
         return report
 
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = {
-            pool.submit(execute, job): (key, job)
-            for key, job in pending.items()
-        }
-        remaining = set(futures)
-        while remaining:
-            done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-            for fut in done:
-                key, job = futures[fut]
-                try:
-                    record = fut.result()
-                except Exception as exc:  # noqa: BLE001 - reported per job
-                    if strict:
-                        for f in remaining:
-                            f.cancel()
-                        raise
-                    report.failures[key] = repr(exc)
+    return _run_pooled(
+        pending,
+        execute,
+        workers,
+        strict,
+        policy,
+        job_timeout,
+        finish,
+        exhaust,
+        charge,
+        report,
+        sleep,
+        clock,
+    )
+
+
+def _run_pooled(
+    pending: dict[str, _JobState],
+    execute: Callable,
+    workers: int,
+    strict: bool,
+    policy: RetryPolicy,
+    job_timeout: float | None,
+    finish: Callable,
+    exhaust: Callable,
+    charge: Callable,
+    report: RunReport,
+    sleep: Callable[[float], None],
+    clock: Callable[[], float],
+) -> RunReport:
+    """The supervised process-pool loop (see the module docstring)."""
+    # Collateral interruptions (pool broke, culprit unknown) are not
+    # charged as attempts, so they get their own bound: an environment
+    # that keeps killing workers must still terminate.
+    interruption_cap = max(3 * policy.max_attempts, 6)
+    max_inflight = 2 * workers  # bound a crash's blast radius
+
+    waiting: dict[str, None] = dict.fromkeys(pending)  # ordered set
+    suspects: set[str] = set()
+    inflight: dict = {}  # future -> key
+    started: dict = {}  # future -> submit time
+    pool = ProcessPoolExecutor(max_workers=workers)
+
+    def handle_failure(
+        key: str,
+        kind: str,
+        exc: BaseException,
+        elapsed: float,
+        suspect: bool = False,
+    ) -> BaseException | None:
+        """Charge one attributable failure; non-None means strict-fatal."""
+        state = pending[key]
+        if charge(key, state, kind, exc, elapsed):
+            report.retried += 1
+            waiting[key] = None
+            if suspect:
+                # A known crasher/hanger re-runs alone so it cannot
+                # take innocents down with it again.
+                suspects.add(key)
+            return None
+        exhaust(key, state, exc)
+        return exc if strict else None
+
+    def interrupt(key: str) -> BaseException | None:
+        """Resubmit a collaterally interrupted job as a suspect."""
+        state = pending[key]
+        state.interruptions += 1
+        if state.interruptions > interruption_cap:
+            exc: BaseException = RuntimeError(
+                f"worker pool broke {state.interruptions} times while this "
+                "job was in flight"
+            )
+            exhaust(key, state, exc)
+            return exc if strict else None
+        report.retried += 1
+        suspects.add(key)
+        waiting[key] = None
+        return None
+
+    fatal: BaseException | None = None
+    try:
+        while waiting or inflight:
+            now = clock()
+            # Submission: suspects re-run one at a time so a repeat
+            # crash is attributable; otherwise fill up to the cap.
+            broken = False
+            attributed = False  # breakage cause already charged?
+            victims: list[tuple[str, float]] = []  # (key, submit time)
+            for key in list(waiting):
+                if suspects:
+                    if inflight or key not in suspects:
+                        continue
+                elif len(inflight) >= max_inflight:
+                    break
+                state = pending[key]
+                if state.ready_at > now:
                     continue
-                finish(key, job, record)
+                try:
+                    fut = pool.submit(
+                        _call_job,
+                        execute,
+                        state.job,
+                        key,
+                        len(state.attempts) + 1,
+                    )
+                except BrokenProcessPool:
+                    broken = True
+                    break
+                state.submissions += 1
+                del waiting[key]
+                inflight[fut] = key
+                started[fut] = now
+                if suspects:
+                    break  # exactly one suspect in flight
+
+            if not broken:
+                if not inflight:
+                    if not waiting:
+                        break
+                    next_ready = min(pending[k].ready_at for k in waiting)
+                    sleep(max(0.0, next_ready - clock()) + 0.001)
+                    continue
+
+                timeout = None
+                wakeups = []
+                if job_timeout is not None:
+                    wakeups.extend(started[f] + job_timeout for f in inflight)
+                wakeups.extend(
+                    pending[k].ready_at
+                    for k in waiting
+                    if pending[k].ready_at > now
+                )
+                if wakeups:
+                    timeout = max(0.001, min(wakeups) - now)
+                done, __ = wait(
+                    set(inflight), timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                now = clock()
+
+                for fut in done:
+                    key = inflight.pop(fut)
+                    t0 = started.pop(fut)
+                    state = pending[key]
+                    try:
+                        record = fut.result()
+                    except BrokenProcessPool:
+                        # Attribution is decided per breakage event,
+                        # once every victim is known (below).
+                        broken = True
+                        victims.append((key, t0))
+                    except Exception as exc:  # noqa: BLE001 - reported per job
+                        suspects.discard(key)
+                        fatal = fatal or handle_failure(
+                            key, "error", exc, now - t0
+                        )
+                    else:
+                        suspects.discard(key)
+                        finish(key, state.job, record)
+
+                if fatal is None and not broken and job_timeout is not None:
+                    for fut in list(inflight):
+                        if now - started[fut] >= job_timeout:
+                            key = inflight.pop(fut)
+                            t0 = started.pop(fut)
+                            suspects.discard(key)
+                            fatal = fatal or handle_failure(
+                                key,
+                                "timeout",
+                                TimeoutError(
+                                    f"job exceeded {job_timeout}s wall clock"
+                                ),
+                                now - t0,
+                                suspect=True,
+                            )
+                            # Kill and reap the stuck worker; the pool
+                            # dies with it and is rebuilt below.  The
+                            # cause is charged, so the other in-flight
+                            # jobs are pure collateral.
+                            broken = True
+                            attributed = True
+                            _kill_workers(pool)
+                            break
+
+            if broken:
+                victims.extend(
+                    (inflight.pop(fut), started.pop(fut))
+                    for fut in list(inflight)
+                )
+                if not attributed and len(victims) == 1 and fatal is None:
+                    # Exactly one job was in flight when the pool died:
+                    # the crash is attributable, charge it.
+                    key, t0 = victims.pop()
+                    suspects.discard(key)
+                    fatal = fatal or handle_failure(
+                        key,
+                        "worker-crash",
+                        BrokenProcessPool("worker died mid-job"),
+                        clock() - t0,
+                        suspect=True,
+                    )
+                for key, __ in victims:
+                    # Culprit unknown (or already charged): nobody is
+                    # charged an attempt, everyone re-runs in isolation.
+                    suspects.discard(key)
+                    fatal = fatal or interrupt(key)
+                _kill_workers(pool)
+                _reap(pool)
+                if fatal is None:
+                    pool = ProcessPoolExecutor(max_workers=workers)
+
+            if fatal is not None:
+                raise fatal
+    finally:
+        if fatal is not None or waiting or inflight:
+            # Abnormal exit: cancel queued futures and kill running
+            # workers so no zombie processes outlive the raise.
+            _kill_workers(pool)
+        _reap(pool)
     return report

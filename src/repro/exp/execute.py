@@ -234,6 +234,9 @@ def _execute_mix(job: Job) -> dict:
 
 def execute_job(job: Job) -> dict:
     """Run one job and return its result record."""
+    from repro.devtools import faults
+
+    faults.maybe_inject("execute", key=job.key())
     if job.kind == "mix":
         return _execute_mix(job)
     return _execute_single(job)

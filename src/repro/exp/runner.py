@@ -5,6 +5,11 @@ to the generic engine with the name-based executor.  Because jobs are
 fingerprint-keyed and the store is append-only, submitting the same
 campaign again — after adding grid points, or after a crash — executes
 exactly the jobs whose results are missing.
+
+Campaigns run supervised by default: failed jobs retry with exponential
+backoff (:data:`CAMPAIGN_RETRY`), and jobs that exhaust the cap are
+parked in a quarantine sidecar next to the store rather than retried
+forever (``repro campaign quarantine`` manages them).
 """
 
 from __future__ import annotations
@@ -14,9 +19,16 @@ from pathlib import Path
 from repro.exp.campaign import Campaign
 from repro.exp.engine import RunReport, run_jobs
 from repro.exp.execute import execute_job
+from repro.exp.quarantine import Quarantine, quarantine_path_for
 from repro.exp.store import ResultStore
+from repro.retry import RetryPolicy
 
-__all__ = ["run_campaign", "campaign_status"]
+__all__ = ["CAMPAIGN_RETRY", "run_campaign", "campaign_status"]
+
+#: Default supervision for campaign jobs: a transient worker failure
+#: costs a re-run, not a dead campaign; a poison job costs 4 attempts,
+#: not an infinite loop.
+CAMPAIGN_RETRY = RetryPolicy(max_attempts=4, base_delay=0.05, max_delay=2.0)
 
 
 def run_campaign(
@@ -25,6 +37,9 @@ def run_campaign(
     workers: int = 1,
     strict: bool = True,
     progress=None,
+    retry: RetryPolicy | None = CAMPAIGN_RETRY,
+    job_timeout: float | None = None,
+    quarantine: Quarantine | None = None,
 ) -> RunReport:
     """Run every missing job of a campaign.
 
@@ -32,15 +47,25 @@ def run_campaign(
         campaign: the grid.
         store: result store, or a path to open one at.
         workers: process-pool size (``<= 1`` runs serially in-process).
-        strict: raise on the first failing job (otherwise collect
-            failures in the report).
+        strict: raise on the first job that exhausts its retries
+            (otherwise collect failures in the report).
         progress: optional ``(key, job)`` callback per finished job.
+        retry: retry policy (default :data:`CAMPAIGN_RETRY`; None means
+            a single attempt per job).
+        job_timeout: optional per-attempt wall-clock cap in seconds;
+            an overrunning worker is killed and the attempt retried
+            (needs ``workers > 1``).
+        quarantine: where poison jobs land; defaults to the
+            ``<store>.quarantine.jsonl`` sidecar when the store is
+            file-backed.  Already-quarantined keys are skipped.
 
     Returns:
         The engine's :class:`~repro.exp.engine.RunReport`.
     """
     if not isinstance(store, ResultStore):
         store = ResultStore(store)
+    if quarantine is None:
+        quarantine = Quarantine(quarantine_path_for(store.path))
     return run_jobs(
         campaign.jobs(),
         execute_job,
@@ -48,6 +73,9 @@ def run_campaign(
         workers=workers,
         strict=strict,
         progress=progress,
+        retry=retry,
+        job_timeout=job_timeout,
+        quarantine=quarantine,
     )
 
 
@@ -57,14 +85,20 @@ def campaign_status(
     """Completion summary: total/done/pending, plus a per-scheme split."""
     if not isinstance(store, ResultStore):
         store = ResultStore(store)
+    quarantine = Quarantine(quarantine_path_for(store.path))
     jobs = campaign.jobs()
     # Job keys hash the full job spec — compute each exactly once and
     # derive every view from that, instead of re-fingerprinting the grid
     # three times over.
-    done_flags = [(job, job.key() in store) for job in jobs]
-    n_done = sum(1 for __, is_done in done_flags if is_done)
+    done_flags = [(job, job.key()) for job in jobs]
+    done_flags = [(job, key in store, key) for job, key in done_flags]
+    n_done = sum(1 for __, is_done, __k in done_flags if is_done)
+    n_quarantined = sum(
+        1 for __, is_done, key in done_flags
+        if not is_done and key in quarantine
+    )
     per_scheme: dict[str, dict[str, int]] = {}
-    for job, is_done in done_flags:
+    for job, is_done, __ in done_flags:
         row = per_scheme.setdefault(job.scheme, {"done": 0, "pending": 0})
         row["done" if is_done else "pending"] += 1
     return {
@@ -72,5 +106,6 @@ def campaign_status(
         "total": len(jobs),
         "done": n_done,
         "pending": len(jobs) - n_done,
+        "quarantined": n_quarantined,
         "per_scheme": per_scheme,
     }

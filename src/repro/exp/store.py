@@ -61,6 +61,8 @@ class ResultStore:
         self._records: dict[str, dict] = {}
         self._jobs: dict[str, dict] = {}
         self._needs_newline = False
+        self._duplicates = 0
+        self._corrupt_lines = 0
         if self.path.exists():
             self._replay()
 
@@ -76,10 +78,16 @@ class ResultStore:
             try:
                 entry = json.loads(line)
             except json.JSONDecodeError:
+                self._corrupt_lines += 1
                 continue  # truncated trailing line from a killed run
             key = entry.get("key")
             if key is None:
+                self._corrupt_lines += 1
                 continue
+            if key in self._records:
+                # Replay is last-write-wins: a retried job's second
+                # append deterministically shadows the first.
+                self._duplicates += 1
             # A null result (a worker that died between claiming a job
             # and producing output) must read back as an empty record,
             # not None — records()/export_table call result.get(...).
@@ -124,8 +132,28 @@ class ResultStore:
             fh.write(line + "\n")
             fh.flush()
             os.fsync(fh.fileno())
+        if key in self._records:
+            self._duplicates += 1
         self._records[key] = record
         self._jobs[key] = job_dict
+
+    def verify(self) -> dict:
+        """Integrity summary of the on-disk file.
+
+        Re-replays the file from disk and reports what a fresh open
+        would see: distinct records kept, duplicate-key lines shadowed
+        by a later write, corrupt/truncated lines skipped, and whether
+        the final line is missing its newline (a writer died mid-append
+        and the next append will repair it).
+        """
+        fresh = ResultStore(self.path) if self.path.exists() else self
+        return {
+            "path": str(self.path),
+            "records": len(fresh._records),
+            "duplicates": fresh._duplicates,
+            "corrupt_lines": fresh._corrupt_lines,
+            "torn_tail": fresh._needs_newline,
+        }
 
     def export_table(self, metric: str = "cycles") -> str:
         """A plain-text (app × scheme) table of one result metric."""

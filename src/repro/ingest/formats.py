@@ -557,10 +557,25 @@ class RTraceSource:
         return head.startswith(b"PK\x03\x04")
 
     def _load_member(self, zf: zipfile.ZipFile, name: str) -> np.ndarray:
-        with zf.open(name) as f:
+        from repro.devtools import faults
+        from repro.retry import call_with_retries
+
+        def read() -> np.ndarray:
+            faults.maybe_inject("rtrace-chunk", key=name)
+            with zf.open(name) as f:
+                raw = faults.filter_bytes("rtrace-chunk", f.read(), key=name)
             return np.lib.format.read_array(
-                io.BytesIO(f.read()), allow_pickle=False
+                io.BytesIO(raw), allow_pickle=False
             )
+
+        # A torn or transiently unreadable member costs a bounded
+        # re-read (decode errors included: a mid-write reader sees a
+        # short member once, the retry sees the finished bytes).
+        return call_with_retries(
+            read,
+            retryable=(OSError, ValueError, zipfile.BadZipFile),
+            key=name,
+        )
 
     def _mapped(self):
         """A :class:`~repro.store.mmapzip.MappedArchive`, or None.

@@ -19,6 +19,7 @@ same records.
 from __future__ import annotations
 
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -28,6 +29,7 @@ import numpy as np
 
 from repro.ingest.formats import _LACKEY_DATA_OPS, _parse_int
 from repro.ingest.source import IterableSource, TraceChunk
+from repro.retry import call_with_retries
 
 __all__ = ["follow_lines", "open_stream_source", "run_watch"]
 
@@ -40,6 +42,7 @@ def follow_lines(
     poll_interval: float = 0.5,
     idle_timeout: float | None = None,
     sleep: Callable[[float], None] = time.sleep,
+    path: str | Path | None = None,
 ) -> Iterator[str]:
     """Yield lines from ``stream``, waiting for more at EOF (``tail -f``).
 
@@ -51,38 +54,108 @@ def follow_lines(
             ``0`` reads exactly what is there now and stops — the mode
             batch tests and one-shot pipes use.
         sleep: injectable for tests.
+        path: the on-disk name behind ``stream``, when there is one.
+            Enables log-rotation handling at EOF: if the name points at
+            a different inode (the writer rotated and recreated the
+            file), the new file is opened and followed from its start;
+            if the file shrank in place (truncation), following rewinds
+            to offset 0.  ``None`` (pipes, stdin, test streams)
+            disables the checks.
+
+    Reads are retried through the transient-I/O policy
+    (:data:`repro.retry.IO_RETRY`), so a momentary ``OSError`` — an
+    NFS blip, a mid-rotation read — costs a bounded re-read, not a
+    dead follower.
     """
+    from repro.devtools import faults
+
+    watch = Path(path) if path is not None else None
+    site_key = str(watch) if watch is not None else ""
+    holder = {"stream": stream}
+    high_water = 0
+    owns_stream = False  # did rotation make us open the current stream?
+
+    def read_line() -> str:
+        def _read() -> str:
+            faults.maybe_inject("follow-read", key=site_key)
+            return holder["stream"].readline()
+
+        return call_with_retries(_read, key=site_key, sleep=sleep)
+
+    def check_rotation() -> bool:
+        """At EOF: reopen on rotation, rewind on truncation.
+
+        Returns True when the data source changed (so the caller should
+        re-read immediately instead of counting idle time).
+        """
+        nonlocal high_water, owns_stream
+        if watch is None:
+            return False
+        current = holder["stream"]
+        try:
+            disk = os.stat(watch)
+            here = os.fstat(current.fileno())
+        except (OSError, ValueError, AttributeError):
+            return False  # rotated away with no successor (yet), or a
+            # stream with no real file behind it
+        if (disk.st_ino, disk.st_dev) != (here.st_ino, here.st_dev):
+            # Rotated: a new file took over the name; follow it from
+            # the start.  The old handle (ours or the caller's) points
+            # at an orphaned inode nobody will write again.
+            try:
+                fresh = open(watch, "r", errors="replace")
+            except OSError:
+                return False  # successor vanished between stat and open
+            current.close()
+            holder["stream"] = fresh
+            owns_stream = True
+            high_water = 0
+            return True
+        if disk.st_size < high_water:
+            # Truncated in place: everything re-written from offset 0.
+            current.seek(0)
+            high_water = disk.st_size
+            return True
+        high_water = max(high_water, disk.st_size)
+        return False
+
     idle = 0.0
-    while True:
-        line = stream.readline()
-        if line:
-            idle = 0.0
-            # A final line without a newline may still be mid-write;
-            # hold it until the writer finishes it or goes idle.
-            if not line.endswith("\n"):
-                buffered = line
-                while idle_timeout is None or idle < idle_timeout:
-                    rest = stream.readline()
-                    if rest:
-                        buffered += rest
-                        if buffered.endswith("\n"):
-                            break
-                        continue
-                    if idle_timeout == 0:
-                        break
-                    sleep(poll_interval)
-                    idle += poll_interval
-                yield buffered
+    try:
+        while True:
+            line = read_line()
+            if line:
                 idle = 0.0
+                # A final line without a newline may still be mid-write;
+                # hold it until the writer finishes it or goes idle.
+                if not line.endswith("\n"):
+                    buffered = line
+                    while idle_timeout is None or idle < idle_timeout:
+                        rest = read_line()
+                        if rest:
+                            buffered += rest
+                            if buffered.endswith("\n"):
+                                break
+                            continue
+                        if idle_timeout == 0 or check_rotation():
+                            break
+                        sleep(poll_interval)
+                        idle += poll_interval
+                    yield buffered
+                    idle = 0.0
+                    continue
+                yield line
                 continue
-            yield line
-            continue
-        if idle_timeout is not None and idle >= idle_timeout:
-            return
-        if idle_timeout == 0:
-            return
-        sleep(poll_interval)
-        idle += poll_interval
+            if check_rotation():
+                continue
+            if idle_timeout is not None and idle >= idle_timeout:
+                return
+            if idle_timeout == 0:
+                return
+            sleep(poll_interval)
+            idle += poll_interval
+    finally:
+        if owns_stream:
+            holder["stream"].close()
 
 
 # ----------------------------------------------------------------------
@@ -227,6 +300,7 @@ def open_stream_source(
         )
 
     def _gen() -> Iterator[TraceChunk]:
+        watch_path: Path | None = None
         if stream is not None:
             f = stream
             close = False
@@ -234,13 +308,17 @@ def open_stream_source(
             f = sys.stdin
             close = False
         else:
-            f = open(Path(path), "r", errors="replace")
+            watch_path = Path(path)
+            f = open(watch_path, "r", errors="replace")
             close = True
-        # A pipe's EOF is final: never poll stdin.
+        # A pipe's EOF is final: never poll stdin.  Real files also get
+        # rotation/truncation handling (watch_path).
         timeout = 0.0 if f is sys.stdin else idle_timeout
         try:
             yield from _chunks_from_lines(
-                follow_lines(f, poll_interval, timeout), fmt, batch_records
+                follow_lines(f, poll_interval, timeout, path=watch_path),
+                fmt,
+                batch_records,
             )
         finally:
             if close:

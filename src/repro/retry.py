@@ -1,0 +1,110 @@
+"""Deterministic retry with exponential backoff and seeded jitter.
+
+One policy object serves two layers: the campaign engine retries whole
+jobs with it (``repro.exp.engine``), and transient I/O paths — store
+payload reads, ``.rtrace`` chunk decodes, live-tail reads — route
+through :func:`call_with_retries` so a momentary ``OSError`` costs a
+bounded re-read instead of a crashed run.  All delays are pure
+functions of ``(seed, key, attempt)``: reruns wait the same fractions,
+fleets of workers still decorrelate, and nothing depends on wall-clock
+or global random state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+__all__ = ["IO_RETRY", "RetryPolicy", "call_with_retries", "seeded_unit"]
+
+T = TypeVar("T")
+
+
+def seeded_unit(seed: int, *parts: object) -> float:
+    """Deterministic uniform value in ``[0, 1)`` from a seed + context.
+
+    blake2b over ``"seed:part:part..."`` — stable across processes and
+    platforms, so retry jitter (and the fault harness's probability
+    rules) reproduce exactly under a fixed seed.
+    """
+    text = ":".join([str(seed), *map(str, parts)])
+    digest = hashlib.blake2b(text.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Attempt cap plus exponential backoff with seeded jitter.
+
+    Attributes:
+        max_attempts: total tries (1 = no retry).
+        base_delay: seconds before the second attempt.
+        backoff: multiplier per further attempt.
+        max_delay: backoff ceiling, pre-jitter.
+        jitter: extra fraction of the delay, scaled by a deterministic
+            ``[0, 1)`` draw from ``(seed, key, attempt)``.
+        seed: jitter seed.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    backoff: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {self.backoff}")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+
+    def delay(self, key: str, attempt: int) -> float:
+        """Seconds to wait after failed attempt ``attempt`` (1-based)."""
+        raw = min(
+            self.max_delay, self.base_delay * self.backoff ** (attempt - 1)
+        )
+        return raw * (1.0 + self.jitter * seeded_unit(self.seed, key, attempt))
+
+
+#: Default policy for transient I/O: three quick tries, tight delays.
+IO_RETRY = RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.25)
+
+
+def call_with_retries(
+    fn: Callable[[], T],
+    *,
+    policy: RetryPolicy = IO_RETRY,
+    retryable: tuple[type[BaseException], ...] = (OSError,),
+    key: str = "",
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Callable[[int, BaseException], None] | None = None,
+) -> T:
+    """Call ``fn`` until it succeeds or the policy's attempts run out.
+
+    The transient-retry helper: every new I/O path that can see a
+    momentary failure (NFS blip, mid-rotation read, torn payload)
+    should route its read through here rather than catching ad hoc.
+    Non-``retryable`` exceptions propagate immediately; the last
+    retryable failure is re-raised once ``policy.max_attempts`` is
+    exhausted.
+    """
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return fn()
+        except retryable as exc:
+            if attempt >= policy.max_attempts:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            sleep(policy.delay(key, attempt))

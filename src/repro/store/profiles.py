@@ -109,20 +109,34 @@ def load_profile(
     shared mapping (N workers share one page-cache copy); compressed or
     foreign files fall back to ``np.load`` and, failing that, ``None``.
     """
+    from repro.devtools import faults
+    from repro.retry import call_with_retries
+
     path = Path(path)
     if not path.exists():
         return None
     if mmap:
         from repro.store.mmapzip import npz_arrays
 
+        def read_mapped() -> Any:
+            faults.maybe_inject("store-read", key=str(path))
+            return npz_arrays(path)
+
         try:
-            arrays = npz_arrays(path)
+            # A transient read failure costs a bounded re-read; only a
+            # persistent one falls through to the np.load path / None.
+            arrays = call_with_retries(read_mapped, key=str(path))
         except (OSError, ValueError, zipfile.BadZipFile):
             arrays = None
         if arrays is not None:
             return decode_payload(arrays, chunk_bytes, n_intervals)
+
+    def read_npz() -> Any:
+        faults.maybe_inject("store-read", key=str(path))
+        return np.load(path)
+
     try:
-        data = np.load(path)
+        data = call_with_retries(read_npz, key=str(path))
     except (OSError, ValueError, zipfile.BadZipFile):
         return None
     return decode_payload(data, chunk_bytes, n_intervals)

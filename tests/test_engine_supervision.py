@@ -1,0 +1,317 @@
+"""Supervision tests for the job engine (repro.exp.engine).
+
+Exercises the fault-tolerance layer with real process pools: retry with
+backoff, worker-crash detection and pool rebuild, per-job wall-clock
+timeouts that kill and reap hung workers, quarantine of poison jobs,
+and the strict-mode teardown guarantee (no zombie workers after a
+raise).  Executors are module-level so they pickle; cross-process
+coordination goes through sentinel files in a directory passed by
+environment variable (pool workers inherit the env on fork).
+"""
+
+import dataclasses
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.exp.engine import run_jobs
+from repro.exp.quarantine import Quarantine
+from repro.exp.store import MemoryStore, ResultStore
+from repro.retry import RetryPolicy
+
+FLAG_DIR_ENV = "REPRO_ENGINE_TEST_DIR"
+
+#: Fast-converging test policy: no real sleeping between attempts.
+FAST = RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0.0)
+
+
+@dataclasses.dataclass
+class TJob:
+    name: str
+
+    def key(self):
+        return self.name
+
+    def to_dict(self):
+        return {"name": self.name}
+
+
+def exec_ok(job):
+    return {"v": job.name}
+
+
+def exec_fail_named(job):
+    """Raise forever for jobs named fail*; succeed otherwise."""
+    if job.name.startswith("fail"):
+        raise ValueError(f"poison {job.name}")
+    return {"v": job.name}
+
+
+def _first_time(job) -> bool:
+    """True exactly once per job name, across all pool processes."""
+    flag = os.path.join(os.environ[FLAG_DIR_ENV], f"seen_{job.name}")
+    try:
+        fd = os.open(flag, os.O_CREAT | os.O_EXCL)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+def exec_flaky_raise(job):
+    """Raise on each flaky* job's first attempt, succeed after."""
+    if job.name.startswith("flaky") and _first_time(job):
+        raise OSError(f"transient {job.name}")
+    return {"v": job.name}
+
+
+def exec_crash_once(job):
+    """Die like an OOM kill on each crash* job's first attempt."""
+    if job.name.startswith("crash") and _first_time(job):
+        os._exit(23)
+    return {"v": job.name}
+
+
+def exec_crash_always(job):
+    """Die on every attempt of crash* jobs."""
+    if job.name.startswith("crash"):
+        os._exit(23)
+    return {"v": job.name}
+
+
+def exec_hang_once(job):
+    """Hang far past any timeout on each hang* job's first attempt."""
+    if job.name.startswith("hang") and _first_time(job):
+        time.sleep(300)
+    return {"v": job.name}
+
+
+@pytest.fixture
+def flag_dir(tmp_path, monkeypatch):
+    d = tmp_path / "flags"
+    d.mkdir()
+    monkeypatch.setenv(FLAG_DIR_ENV, str(d))
+    return d
+
+
+def _assert_no_workers_left():
+    """Every pool process is reaped — nothing outlives the engine."""
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        if not multiprocessing.active_children():
+            return
+        time.sleep(0.05)
+    raise AssertionError(
+        f"zombie workers left behind: {multiprocessing.active_children()}"
+    )
+
+
+class TestSerialRetry:
+    def test_retry_until_success_counts_resubmissions(self):
+        attempts = []
+
+        def flaky(job):
+            attempts.append(job.name)
+            if len(attempts) < 3:
+                raise OSError("transient")
+            return {"v": job.name}
+
+        store = MemoryStore()
+        report = run_jobs(
+            [TJob("a")], flaky, store=store, retry=FAST, sleep=lambda s: None
+        )
+        assert report.executed == 1 and report.retried == 2
+        assert not report.failures and "a" in store
+
+    def test_backoff_delays_follow_the_policy(self):
+        slept = []
+
+        def always(job):
+            raise OSError("x")
+
+        policy = RetryPolicy(
+            max_attempts=3, base_delay=0.5, backoff=2.0, jitter=0.0
+        )
+        run_jobs(
+            [TJob("a")],
+            always,
+            strict=False,
+            retry=policy,
+            sleep=slept.append,
+            clock=lambda: 0.0,  # frozen clock: sleeps equal the raw delays
+        )
+        assert slept == [0.5, 1.0]
+
+    def test_no_retry_without_policy_legacy_behavior(self):
+        calls = []
+
+        def once(job):
+            calls.append(1)
+            raise ValueError("boom")
+
+        report = run_jobs([TJob("a")], once, strict=False)
+        assert len(calls) == 1 and report.retried == 0
+        assert "a" in report.failures
+
+    def test_strict_raises_after_exhaustion(self):
+        with pytest.raises(ValueError, match="poison"):
+            run_jobs(
+                [TJob("fail-1")],
+                exec_fail_named,
+                retry=FAST,
+                sleep=lambda s: None,
+            )
+
+    def test_exhausted_job_is_quarantined_with_history(self, tmp_path):
+        q = Quarantine(tmp_path / "q.jsonl")
+        report = run_jobs(
+            [TJob("fail-1"), TJob("ok-1")],
+            exec_fail_named,
+            strict=False,
+            retry=FAST,
+            quarantine=q,
+            sleep=lambda s: None,
+        )
+        assert report.executed == 1
+        assert report.quarantined == ["fail-1"]
+        entry = q.get("fail-1")
+        assert len(entry["attempts"]) == FAST.max_attempts
+        assert all(a["kind"] == "error" for a in entry["attempts"])
+
+    def test_quarantined_jobs_are_skipped_not_rerun(self, tmp_path):
+        q = Quarantine(tmp_path / "q.jsonl")
+        q.add("fail-1", TJob("fail-1"), [{"kind": "error", "error": "x"}])
+        calls = []
+
+        def spy(job):
+            calls.append(job.name)
+            return {"v": job.name}
+
+        report = run_jobs(
+            [TJob("fail-1"), TJob("ok-1")], spy, strict=False, quarantine=q
+        )
+        assert calls == ["ok-1"]
+        assert report.quarantined == ["fail-1"]
+        assert "quarantined" in report.failures["fail-1"]
+
+
+class TestPooledSupervision:
+    def test_parallel_flaky_jobs_converge(self, flag_dir):
+        jobs = [TJob(f"flaky-{i}") for i in range(4)] + [TJob("ok")]
+        store = MemoryStore()
+        report = run_jobs(
+            jobs, exec_flaky_raise, store=store, workers=2, retry=FAST
+        )
+        assert report.executed == 5 and not report.failures
+        assert report.retried == 4
+        _assert_no_workers_left()
+
+    def test_worker_crash_rebuilds_pool_and_retries(self, flag_dir):
+        jobs = [TJob(f"crash-{i}") for i in range(2)] + [
+            TJob(f"ok-{i}") for i in range(3)
+        ]
+        store = MemoryStore()
+        report = run_jobs(
+            jobs, exec_crash_once, store=store, workers=2, retry=FAST
+        )
+        assert report.executed == 5 and not report.failures
+        assert report.retried >= 2  # each crasher needed at least one re-run
+        assert all(job.key() in store for job in jobs)
+        _assert_no_workers_left()
+
+    def test_poison_crasher_is_quarantined_others_survive(
+        self, flag_dir, tmp_path
+    ):
+        q = Quarantine(tmp_path / "q.jsonl")
+        jobs = [TJob("crash-poison")] + [TJob(f"ok-{i}") for i in range(3)]
+        store = MemoryStore()
+        report = run_jobs(
+            jobs,
+            exec_crash_always,
+            store=store,
+            workers=2,
+            strict=False,
+            retry=FAST,
+            quarantine=q,
+        )
+        assert report.executed == 3
+        assert report.quarantined == ["crash-poison"]
+        entry = q.get("crash-poison")
+        # Charged attempts are all attributable worker deaths, and the
+        # cap held: the poison job was not retried forever.
+        assert len(entry["attempts"]) == FAST.max_attempts
+        assert all(a["kind"] == "worker-crash" for a in entry["attempts"])
+        _assert_no_workers_left()
+
+    def test_hung_worker_is_killed_and_job_retried(self, flag_dir):
+        jobs = [TJob("hang-0"), TJob("ok-0"), TJob("ok-1")]
+        store = MemoryStore()
+        t0 = time.monotonic()
+        report = run_jobs(
+            jobs,
+            exec_hang_once,
+            store=store,
+            workers=2,
+            retry=FAST,
+            job_timeout=2.0,
+        )
+        elapsed = time.monotonic() - t0
+        assert report.executed == 3 and not report.failures
+        assert report.retried >= 1
+        assert elapsed < 60, "timeout did not preempt the 300s hang"
+        hung = store.get("hang-0")
+        assert hung == {"v": "hang-0"}
+        _assert_no_workers_left()
+
+    def test_timeout_exhaustion_reports_timeout_kind(self, flag_dir, tmp_path):
+        q = Quarantine(tmp_path / "q.jsonl")
+
+        report = run_jobs(
+            [TJob("hang-forever")],
+            exec_hang_always,
+            workers=2,
+            strict=False,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.01, jitter=0.0),
+            job_timeout=1.0,
+            quarantine=q,
+        )
+        assert "hang-forever" in report.failures
+        kinds = [a["kind"] for a in q.get("hang-forever")["attempts"]]
+        assert kinds == ["timeout", "timeout"]
+        _assert_no_workers_left()
+
+    def test_strict_cancellation_leaves_no_zombies(self, flag_dir):
+        # Plenty of queued work behind the poison job: the raise must
+        # cancel everything queued and reap every worker.
+        jobs = [TJob("crash-poison")] + [TJob(f"ok-{i}") for i in range(20)]
+        with pytest.raises(Exception):
+            run_jobs(
+                jobs,
+                exec_crash_always,
+                workers=2,
+                strict=True,
+                retry=RetryPolicy(max_attempts=1),
+            )
+        _assert_no_workers_left()
+
+    def test_results_match_serial_run(self, flag_dir, tmp_path):
+        jobs = [TJob(f"crash-{i}") for i in range(2)] + [
+            TJob(f"ok-{i}") for i in range(4)
+        ]
+        serial = ResultStore(tmp_path / "serial.jsonl")
+        run_jobs([TJob(j.name) for j in jobs], exec_ok, store=serial)
+
+        supervised = ResultStore(tmp_path / "supervised.jsonl")
+        run_jobs(jobs, exec_crash_once, store=supervised, workers=2, retry=FAST)
+        # Same records, regardless of crashes and completion order.
+        assert sorted(
+            (tmp_path / "serial.jsonl").read_text().splitlines()
+        ) == sorted((tmp_path / "supervised.jsonl").read_text().splitlines())
+
+
+def exec_hang_always(job):
+    if job.name.startswith("hang"):
+        time.sleep(300)
+    return {"v": job.name}

@@ -230,3 +230,55 @@ class TestRunJobs:
         assert report.executed == 1
         assert set(report.failures) == {"bad"}
         assert report.completed == 1
+
+
+class TestResultStoreVerify:
+    def test_clean_store_verifies_clean(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        store.add("a", {"v": 1})
+        store.add("b", {"v": 2})
+        report = store.verify()
+        assert report["records"] == 2
+        assert report["duplicates"] == 0
+        assert report["corrupt_lines"] == 0
+        assert report["torn_tail"] is False
+
+    def test_duplicate_keys_replay_last_write_wins(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = ResultStore(path)
+        store.add("a", {"v": 1})
+        store.add("a", {"v": 2}, job={"n": "second"})
+        store.add("b", {"v": 3})
+
+        again = ResultStore(path)
+        assert len(again) == 2
+        assert again.get("a") == {"v": 2}
+        assert again.job("a") == {"n": "second"}
+        report = again.verify()
+        assert report["records"] == 2
+        assert report["duplicates"] == 1
+
+    def test_crash_replay_reports_torn_tail_and_recovers(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = ResultStore(path)
+        store.add("a", {"v": 1})
+        store.add("b", {"v": 2})
+        # Simulate a writer killed mid-append: the final line is torn.
+        raw = path.read_text()
+        lines = raw.splitlines()
+        path.write_text(lines[0] + "\n" + lines[1][: len(lines[1]) // 2])
+
+        survivor = ResultStore(path)
+        report = survivor.verify()
+        assert report["records"] == 1
+        assert report["corrupt_lines"] == 1
+        assert report["torn_tail"] is True
+
+        # The next append repairs the tail; a retried duplicate of the
+        # lost job replays deterministically (last write wins).
+        survivor.add("b", {"v": 2})
+        survivor.add("b", {"v": 99})
+        final = ResultStore(path)
+        assert final.get("b") == {"v": 99}
+        assert final.verify()["torn_tail"] is False
+        assert final.verify()["duplicates"] == 1
