@@ -11,7 +11,6 @@ upload them as an artifact; wall-clock numbers stay out of
 ``benchmarks/results/``.
 """
 
-import json
 import time
 from pathlib import Path
 
@@ -20,6 +19,7 @@ import numpy as np
 from repro.core.whirltool import WhirlToolAnalyzer
 from repro.core.whirltool.profiler import CallpointProfile
 from repro.curves import MissCurve
+from repro.obs.timings import record_timings
 
 N_CALLPOINTS = 48
 N_INTERVALS = 16
@@ -94,18 +94,16 @@ def _best_of(fn, repeats=1):
 
 def _record_timings(name, t_batched, t_ref):
     """Append one benchmark's timings to the CI artifact JSON."""
-    data = {}
-    if TIMINGS_PATH.exists():
-        try:
-            data = json.loads(TIMINGS_PATH.read_text())
-        except json.JSONDecodeError:
-            data = {}
-    data[name] = {
-        "batched_s": round(t_batched, 6),
-        "reference_s": round(t_ref, 6),
-        "speedup": round(t_ref / t_batched, 2),
-    }
-    TIMINGS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    record_timings(
+        TIMINGS_PATH,
+        name,
+        {
+            "batched_s": t_batched,
+            "reference_s": t_ref,
+            "speedup": (t_ref / t_batched, "x"),
+        },
+        gate="speedup >= 5.0x",
+    )
 
 
 class TestPerfClustering:

@@ -10,12 +10,12 @@ trivial jobs are engine-bound, not supervisor-bound — and a supervised
 run is not meaningfully slower than the legacy single-attempt path.
 """
 
-import json
 import time
 from pathlib import Path
 
 from repro.exp.engine import run_jobs
 from repro.exp.store import MemoryStore
+from repro.obs.timings import infer_unit, record_timings
 from repro.retry import RetryPolicy
 
 #: Trivial jobs per measured run — enough to amortize setup noise.
@@ -47,15 +47,23 @@ def _noop(job):
     return 0
 
 
+#: The CI gate each recorded entry is checked against.
+_GATES = {
+    "supervision_overhead": (
+        f"us_per_job < {MAX_US_PER_JOB}us and "
+        f"supervised_ratio < {MAX_SUPERVISED_RATIO}x"
+    ),
+    "retry_delay": "us_per_delay < 20us",
+}
+
+
 def _record_timings(name, **fields):
-    data = {}
-    if TIMINGS_PATH.exists():
-        try:
-            data = json.loads(TIMINGS_PATH.read_text())
-        except json.JSONDecodeError:
-            data = {}
-    data[name] = {k: round(v, 6) for k, v in fields.items()}
-    TIMINGS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    record_timings(
+        TIMINGS_PATH,
+        name,
+        {k: (v, infer_unit(k)) for k, v in fields.items()},
+        gate=_GATES.get(name),
+    )
 
 
 class TestPerfEngine:

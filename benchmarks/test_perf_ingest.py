@@ -10,7 +10,6 @@ out-of-core pipeline (read + attribute + streaming profile) and checks
 it against the in-memory engine for exactness, not just speed.
 """
 
-import json
 import time
 from pathlib import Path
 
@@ -24,6 +23,7 @@ from repro.ingest import (
     write_trace_file,
 )
 from repro.ingest.formats import MTRACE_RECORD
+from repro.obs.timings import infer_unit, record_timings
 
 #: Records in the throughput instance (x16 bytes = 32 MiB of records).
 N_RECORDS = 2_000_000
@@ -36,15 +36,20 @@ FLOOR_MB_S = 50.0
 TIMINGS_PATH = Path(__file__).parent / "perf_ingest_timings.json"
 
 
+#: The CI gate each recorded entry is checked against.
+_GATES = {
+    "mtrace_stream_2M": f"mb_per_s >= {FLOOR_MB_S}MB/s",
+    "stream_profile_400k": "ratio <= 6.0x",
+}
+
+
 def _record_timings(name, **fields):
-    data = {}
-    if TIMINGS_PATH.exists():
-        try:
-            data = json.loads(TIMINGS_PATH.read_text())
-        except json.JSONDecodeError:
-            data = {}
-    data[name] = {k: round(v, 6) for k, v in fields.items()}
-    TIMINGS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    record_timings(
+        TIMINGS_PATH,
+        name,
+        {k: (v, infer_unit(k)) for k, v in fields.items()},
+        gate=_GATES.get(name),
+    )
 
 
 def _write_instance(path, n=N_RECORDS, seed=17):

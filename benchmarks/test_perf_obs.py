@@ -1,0 +1,112 @@
+"""Observability overhead micro-benchmark: disabled must mean free.
+
+The ``repro.obs`` layer is instrumented into the engine's per-job path,
+the store's per-load path, and the ingest per-chunk path — so when it
+is disabled (the default), every helper must be a true no-op: one
+module-global ``None`` check and a return.  This smoke gates the
+disabled per-call cost at ``MAX_DISABLED_US`` (it measures a few tens
+of nanoseconds on a dedicated core; 1 µs catches an accidental
+allocation, string format, or clock read sneaking into the dark path).
+
+An informational (ungated) entry also records the enabled-path cost
+against an in-memory sink, so a regression there is visible in the CI
+artifact without flaking slow runners.
+
+Timings land in ``benchmarks/perf_obs_timings.json`` (gitignored) for
+the CI artifact upload, same contract as the other perf smokes.
+"""
+
+import time
+from pathlib import Path
+
+from repro import obs
+from repro.obs import MemorySink
+from repro.obs.timings import infer_unit, record_timings
+
+#: Calls per measured loop — enough to amortize loop and clock noise.
+N_CALLS = 200_000
+
+#: CI gate: per-call cost of each disabled helper (µs).
+MAX_DISABLED_US = 1.0
+
+TIMINGS_PATH = Path(__file__).parent / "perf_obs_timings.json"
+
+
+_GATES = {
+    "disabled_noop": f"each metric < {MAX_DISABLED_US}us",
+    "enabled_memory_sink": None,  # informational only
+}
+
+
+def _record_timings(name, **fields):
+    record_timings(
+        TIMINGS_PATH,
+        name,
+        {k: (v, infer_unit(k)) for k, v in fields.items()},
+        gate=_GATES.get(name),
+    )
+
+
+def _per_call_us(fn, n=N_CALLS):
+    best = float("inf")
+    for __ in range(3):
+        t0 = time.perf_counter()
+        for __ in range(n):
+            fn()
+        best = min(best, time.perf_counter() - t0)
+    return best / n * 1e6
+
+
+class TestPerfObs:
+    def test_perf_smoke_disabled_path_is_noop(self):
+        """CI gate: every disabled helper stays under MAX_DISABLED_US."""
+        obs.disable()
+        assert not obs.enabled()
+
+        def spanned():
+            with obs.span("x", key="k"):
+                pass
+
+        costs = {
+            "counter_us": _per_call_us(lambda: obs.counter("c")),
+            "event_us": _per_call_us(lambda: obs.event("e", key="k")),
+            "histogram_us": _per_call_us(lambda: obs.histogram("h", 1.0)),
+            "span_us": _per_call_us(spanned),
+            "enabled_check_us": _per_call_us(obs.enabled),
+        }
+        _record_timings("disabled_noop", **costs)
+        print(
+            "\n[perf] obs disabled path: "
+            + ", ".join(f"{k[:-3]} {v:.3f} us" for k, v in costs.items())
+        )
+        for name, us in costs.items():
+            assert us < MAX_DISABLED_US, (
+                f"disabled obs.{name[:-3]} costs {us:.3f} us/call "
+                f"(gate {MAX_DISABLED_US} us) — the dark path must stay "
+                "a bare None check"
+            )
+
+    def test_perf_smoke_enabled_memory_sink(self):
+        """Informational: enabled-path cost against a MemorySink."""
+        sink = MemorySink()
+        obs.enable(sinks=[sink])
+        try:
+            counter_us = _per_call_us(
+                lambda: obs.counter("c"), n=N_CALLS // 10
+            )
+
+            def spanned():
+                with obs.span("x", key="k"):
+                    pass
+
+            span_us = _per_call_us(spanned, n=N_CALLS // 10)
+        finally:
+            obs.disable()
+        assert sink.events  # the sink really was live
+        _record_timings(
+            "enabled_memory_sink", counter_us=counter_us, span_us=span_us
+        )
+        print(
+            f"\n[perf] obs enabled (memory sink): counter {counter_us:.2f} "
+            f"us, span {span_us:.2f} us"
+        )

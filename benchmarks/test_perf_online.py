@@ -14,7 +14,6 @@ Timings land in ``benchmarks/perf_online_timings.json`` (gitignored)
 for the CI artifact upload, same contract as the other perf smokes.
 """
 
-import json
 import time
 from pathlib import Path
 
@@ -33,6 +32,7 @@ from repro.ingest import (
     StreamingStackProfiler,
     TraceChunk,
 )
+from repro.obs.timings import infer_unit, record_timings
 
 #: Capture shape: EPOCHS epochs of EPOCH_RECORDS records each.
 EPOCH_RECORDS = 250_000
@@ -52,14 +52,12 @@ GRID = dict(chunk_bytes=64 * 1024, n_chunks=32, sample_shift=3)
 
 
 def _record_timings(name, **fields):
-    data = {}
-    if TIMINGS_PATH.exists():
-        try:
-            data = json.loads(TIMINGS_PATH.read_text())
-        except json.JSONDecodeError:
-            data = {}
-    data[name] = {k: round(v, 6) for k, v in fields.items()}
-    TIMINGS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    record_timings(
+        TIMINGS_PATH,
+        name,
+        {k: (v, infer_unit(k)) for k, v in fields.items()},
+        gate=f"speedup >= {SPEEDUP_FLOOR}x",
+    )
 
 
 class _AlwaysPhase(PhaseDetector):

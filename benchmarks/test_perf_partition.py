@@ -9,7 +9,6 @@ so CI can upload them as an artifact; wall-clock numbers stay out of
 ``benchmarks/results/``.
 """
 
-import json
 import time
 from pathlib import Path
 
@@ -19,6 +18,7 @@ from repro.curves.partition import (
     partition_cost_curves,
     partition_cost_curves_reference,
 )
+from repro.obs.timings import record_timings
 
 N_CONSUMERS = 64
 N_CHUNKS = 4096
@@ -55,18 +55,16 @@ def _best_of(fn, repeats=3):
 
 def _record_timings(name, t_vec, t_ref):
     """Append one benchmark's timings to the CI artifact JSON."""
-    data = {}
-    if TIMINGS_PATH.exists():
-        try:
-            data = json.loads(TIMINGS_PATH.read_text())
-        except json.JSONDecodeError:
-            data = {}
-    data[name] = {
-        "vectorized_s": round(t_vec, 6),
-        "reference_s": round(t_ref, 6),
-        "speedup": round(t_ref / t_vec, 2),
-    }
-    TIMINGS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    record_timings(
+        TIMINGS_PATH,
+        name,
+        {
+            "vectorized_s": t_vec,
+            "reference_s": t_ref,
+            "speedup": (t_ref / t_vec, "x"),
+        },
+        gate="speedup >= 5.0x",
+    )
 
 
 class TestPerfPartition:

@@ -10,13 +10,13 @@ and gets memory-mapped views — the OS page cache makes the repeat
 open O(header bytes), not O(payload bytes).
 """
 
-import json
 import time
 from pathlib import Path
 
 import numpy as np
 
 from repro.curves.miss_curve import MissCurve
+from repro.obs.timings import infer_unit, record_timings
 from repro.store import ArtifactStore, load_profile, publish_profile
 from repro.store.profiles import encode_payload
 
@@ -36,14 +36,12 @@ TIMINGS_PATH = Path(__file__).parent / "perf_store_timings.json"
 
 
 def _record_timings(name, **fields):
-    data = {}
-    if TIMINGS_PATH.exists():
-        try:
-            data = json.loads(TIMINGS_PATH.read_text())
-        except json.JSONDecodeError:
-            data = {}
-    data[name] = {k: round(v, 6) for k, v in fields.items()}
-    TIMINGS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    record_timings(
+        TIMINGS_PATH,
+        name,
+        {k: (v, infer_unit(k)) for k, v in fields.items()},
+        gate=f"speedup >= {FLOOR_SPEEDUP}x",
+    )
 
 
 def _make_curves(seed=29):

@@ -19,6 +19,8 @@ Commands
   registered traces.
 - ``lint`` — AST-based static checks of the repo's bit-identity,
   fixture-stability, and atomicity invariants (``repro.devtools.lint``).
+- ``obs`` — inspect the structured-tracing event logs campaigns write
+  (``repro.obs``): wall-clock breakdowns, retry storms, cache ratios.
 """
 
 from __future__ import annotations
@@ -272,6 +274,13 @@ def _cmd_campaign_quarantine(args: argparse.Namespace) -> int:
     return 1 if report.failures else 0
 
 
+def _fmt_timing(timings: dict, scheme: str, stat: str) -> str:
+    row = timings.get(scheme)
+    if not row:
+        return "-"
+    return f"{row[stat]:.3f}s"
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.exp import Campaign, ResultStore, campaign_status, run_campaign
 
@@ -310,11 +319,31 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             f"{status['name']}: {status['done']}/{status['total']} done, "
             f"{status['pending']} pending{quarantined}"
         )
-        rows = [
-            [scheme, row["done"], row["pending"]]
-            for scheme, row in sorted(status["per_scheme"].items())
-        ]
-        print(format_table(["scheme", "done", "pending"], rows))
+        # Wall-clock rollups come from the events sidecar a traced run
+        # leaves next to the store; untraced campaigns have none.
+        timings = status.get("timings", {})
+        if timings:
+            rows = [
+                [
+                    scheme,
+                    row["done"],
+                    row["pending"],
+                    _fmt_timing(timings, scheme, "p50_s"),
+                    _fmt_timing(timings, scheme, "p95_s"),
+                ]
+                for scheme, row in sorted(status["per_scheme"].items())
+            ]
+            print(
+                format_table(
+                    ["scheme", "done", "pending", "p50", "p95"], rows
+                )
+            )
+        else:
+            rows = [
+                [scheme, row["done"], row["pending"]]
+                for scheme, row in sorted(status["per_scheme"].items())
+            ]
+            print(format_table(["scheme", "done", "pending"], rows))
         return 0
 
     # "submit" runs the missing jobs; "resume" is the same operation by
@@ -733,6 +762,33 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Summarize an events sidecar (see :mod:`repro.obs.report`)."""
+    import json as _json
+
+    from repro.obs import events_path_for
+    from repro.obs.report import format_report, load_events, rollup
+
+    if args.events is not None:
+        events_path = Path(args.events)
+    else:
+        events_path = events_path_for(args.store)
+    if not events_path.exists():
+        print(
+            f"no events log at {events_path} (traced campaigns write "
+            "<store>.events.jsonl; set $REPRO_OBS to trace other runs)",
+            file=sys.stderr,
+        )
+        return 2
+    summary = rollup(load_events(events_path))
+    if args.format == "json":
+        print(_json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(f"events log: {events_path}")
+        print(format_report(summary, top=args.top))
+    return 0
+
+
 def _cmd_config(args: argparse.Namespace) -> int:
     for cfg in (four_core_config(), sixteen_core_config()):
         print(f"--- {cfg.name} ---")
@@ -1027,6 +1083,39 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="alternate invariants.toml (default: the packaged manifest)",
     )
+
+    p_obs = sub.add_parser(
+        "obs", help="inspect structured-tracing event logs"
+    )
+    p_obs.add_argument(
+        "action",
+        choices=["report"],
+        help="report: per-job wall-clock breakdown, retry storms, "
+        "cache hit ratios, slowest spans",
+    )
+    p_obs.add_argument(
+        "--events",
+        default=None,
+        help="events log to read (default: the sidecar of --store)",
+    )
+    p_obs.add_argument(
+        "--store",
+        default="campaign.jsonl",
+        help="result store whose .events.jsonl sidecar to read "
+        "(default: campaign.jsonl)",
+    )
+    p_obs.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (json is the full rollup object)",
+    )
+    p_obs.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="rows per text section (default: 10)",
+    )
     return parser
 
 
@@ -1041,6 +1130,7 @@ _COMMANDS = {
     "ingest": _cmd_ingest,
     "store": _cmd_store,
     "lint": _cmd_lint,
+    "obs": _cmd_obs,
 }
 
 

@@ -42,6 +42,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.whirltool.analyzer import (
     ClusteringResult,
     IncrementalClusterCache,
@@ -374,6 +375,10 @@ class OnlineWhirlTool:
         return records * self.instructions_per_record
 
     def _seal_epoch(self) -> EpochReport:
+        with obs.span("online.seal_epoch", epoch=self._sealed) as seal_span:
+            return self._seal_epoch_traced(seal_span)
+
+    def _seal_epoch_traced(self, seal_span) -> EpochReport:
         prof = self._require_started()
         t = self._sealed
         instr_t = self._epoch_instructions(t)
@@ -394,8 +399,22 @@ class OnlineWhirlTool:
             {rid: series[t] for rid, series in self._curves.items()}
         )
         recluster = phase_change or self._result is None
+        obs.counter("online.epochs")
+        if phase_change:
+            obs.counter("online.phase_changes")
+            obs.event("online.phase_change", epoch=t)
         if recluster:
+            # First cluster pays the full pair table; phase-triggered
+            # re-clusters replay cached columns (cluster_incremental).
+            obs.counter(
+                "online.recluster.full"
+                if self._result is None
+                else "online.recluster.incremental"
+            )
             self._recluster()
+        seal_span.note(
+            epoch=t, phase_change=phase_change, reclustered=recluster
+        )
         result = self._result
         return EpochReport(
             epoch=t,

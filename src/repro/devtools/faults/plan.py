@@ -33,6 +33,7 @@ import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
+from repro import obs
 from repro.retry import seeded_unit
 
 __all__ = [
@@ -188,6 +189,16 @@ def maybe_inject(site: str, key: str = "", attempt: int | None = None) -> None:
             continue  # byte-filter rules apply through filter_bytes
         if not rule.fires(plan.seed, key, attempt, _tick(site, key, index)):
             continue
+        # Record the fault BEFORE it fires: the JSONL sink flushes per
+        # event, so even an os._exit crash leaves this line on disk and
+        # the chaos run stays reconstructable from its log.
+        obs.event(
+            "fault.injected",
+            site=site,
+            mode=rule.mode,
+            key=key,
+            attempt=attempt,
+        )
         if rule.mode == "crash":
             # An OOM-kill stand-in: no cleanup, no exception, no flush.
             os._exit(rule.exit_code)
@@ -212,6 +223,7 @@ def filter_bytes(site: str, data: bytes, key: str = "") -> bytes:
             continue
         if not rule.fires(plan.seed, key, None, _tick(site, key, index)):
             continue
+        obs.event("fault.injected", site=site, mode=rule.mode, key=key)
         if rule.mode == "truncate":
             return data[: len(data) // 2]
         torn = bytearray(data)

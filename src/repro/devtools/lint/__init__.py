@@ -29,6 +29,7 @@ from repro.devtools.lint.runner import (
 # Importing the rule modules populates RULES via @register_rule.
 from repro.devtools.lint import rules_arrays  # noqa: F401
 from repro.devtools.lint import rules_layout  # noqa: F401
+from repro.devtools.lint import rules_obs  # noqa: F401
 from repro.devtools.lint import rules_oracle  # noqa: F401
 from repro.devtools.lint import rules_writes  # noqa: F401
 

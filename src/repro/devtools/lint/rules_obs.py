@@ -1,0 +1,173 @@
+"""Observability discipline: spans must pair, instrumentation must stay.
+
+The ``repro.obs`` span model emits paired ``span-start`` / ``span-end``
+records; a span that never ends poisons every rollup built on the log
+(durations missing, parents dangling).  The API makes ending automatic
+*only* through the ``with`` form — so the lint layer enforces the two
+ways a call site can break the pairing: a bare ``obs.span(...)`` call
+that is never entered, and an ``obs.start_span(...)`` handle that is
+never ``.end()``ed.  A manifest list additionally pins which modules
+carry instrumentation at all, so a refactor cannot silently strip the
+event vocabulary the chaos replay tests and ``campaign status`` depend
+on.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.base import (
+    Finding,
+    LintedFile,
+    Project,
+    Rule,
+    call_name,
+    register_rule,
+)
+
+__all__ = ["ObsSpanPairingRule"]
+
+
+def _obs_aliases(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """Names under which ``span`` / ``start_span`` are visible.
+
+    Returns ``(span_names, start_span_names)`` of dotted call-target
+    names: ``obs.span`` from ``from repro import obs`` (or any
+    ``import repro.obs as obs`` style alias), bare ``span`` from
+    ``from repro.obs import span``.
+    """
+    span_names: set[str] = set()
+    start_names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "repro" and any(
+                a.name == "obs" for a in node.names
+            ):
+                for a in node.names:
+                    if a.name == "obs":
+                        base = a.asname or a.name
+                        span_names.add(f"{base}.span")
+                        start_names.add(f"{base}.start_span")
+            elif node.module in ("repro.obs", "repro.obs.core"):
+                for a in node.names:
+                    if a.name == "span":
+                        span_names.add(a.asname or a.name)
+                    elif a.name == "start_span":
+                        start_names.add(a.asname or a.name)
+        elif isinstance(node, ast.Import):
+            for a in node.names:
+                if a.name == "repro.obs" and a.asname:
+                    span_names.add(f"{a.asname}.span")
+                    start_names.add(f"{a.asname}.start_span")
+    return span_names, start_names
+
+
+@register_rule
+class ObsSpanPairingRule(Rule):
+    """``obs.span`` must be entered; ``obs.start_span`` must be ended.
+
+    ``obs.span(...)`` returns a context manager that emits its
+    ``span-start`` on ``__enter__`` and its ``span-end`` (with the
+    measured duration) on ``__exit__`` — a call that is not the context
+    expression of a ``with`` statement either does nothing (never
+    entered) or, worse, is entered manually and leaks an open span into
+    the nesting stack on an exception.  ``obs.start_span(...)`` is the
+    sanctioned cross-frame escape hatch; its handle must be kept (not
+    discarded as a bare expression statement) and the module must call
+    ``.end()`` on some handle, or every one of its spans dangles in the
+    event log and span rollups silently undercount.
+
+    The ``[obs] instrumented`` manifest list pins modules whose
+    instrumentation is load-bearing (chaos-replay tests reconstruct
+    runs from their events): each listed file must exist and still
+    reference ``repro.obs``.
+    """
+
+    id = "obs-span-pairing"
+
+    def check_file(
+        self, f: LintedFile, project: Project
+    ) -> Iterator[Finding]:
+        if f.tree is None:
+            return
+        span_names, start_names = _obs_aliases(f.tree)
+        if not span_names and not start_names:
+            return
+
+        with_exprs: set[ast.expr] = set()
+        bare_exprs: set[ast.expr] = set()
+        for node in ast.walk(f.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    with_exprs.add(item.context_expr)
+            elif isinstance(node, ast.Expr):
+                bare_exprs.add(node.value)
+
+        saw_end = any(
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "end"
+            for node in ast.walk(f.tree)
+        )
+
+        start_sites: list[ast.Call] = []
+        for node in ast.walk(f.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node.func)
+            if name in span_names:
+                if node not in with_exprs:
+                    yield self.finding(
+                        f,
+                        node.lineno,
+                        f"{name}(...) outside a `with` statement: the "
+                        "span-end (and its duration) is only emitted by "
+                        "__exit__ — use `with "
+                        f"{name}(...)`, or start_span() for spans ended "
+                        "in another frame",
+                    )
+            elif name in start_names:
+                start_sites.append(node)
+                if node in bare_exprs:
+                    yield self.finding(
+                        f,
+                        node.lineno,
+                        f"{name}(...) handle discarded: keep the handle "
+                        "and call .end() exactly once, or the span never "
+                        "closes in the event log",
+                    )
+        if start_sites and not saw_end:
+            yield self.finding(
+                f,
+                start_sites[0].lineno,
+                "start_span() is called but no handle .end() appears in "
+                "this module: every started span must be explicitly "
+                "ended or it dangles in the event log",
+            )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        listed = project.manifest.get("obs", {}).get("instrumented", [])
+        for rel in listed:
+            f = project.file(rel)
+            if f is None:
+                yield self.finding(
+                    rel,
+                    1,
+                    "listed under [obs] instrumented in invariants.toml "
+                    "but missing from the tree; update the manifest if "
+                    "the module moved",
+                )
+                continue
+            span_names, start_names = (
+                _obs_aliases(f.tree) if f.tree is not None else (set(), set())
+            )
+            if not span_names and not start_names:
+                yield self.finding(
+                    rel,
+                    1,
+                    "listed under [obs] instrumented but no longer "
+                    "imports repro.obs — its events are load-bearing "
+                    "(chaos replay, campaign status); restore the "
+                    "instrumentation or re-pin the manifest deliberately",
+                )

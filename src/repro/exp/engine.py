@@ -35,6 +35,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro import obs
 from repro.exp.store import MemoryStore
 from repro.retry import RetryPolicy
 
@@ -71,17 +72,24 @@ class RunReport:
         return self.total - len(self.failures)
 
 
-def _call_job(execute: Callable, job, key: str, attempt: int):
+def _call_job(execute: Callable, job, key: str, attempt: int, obs_ctx=None):
     """Worker-side wrapper: consult the fault harness, then execute.
 
     The attempt number comes from the supervisor, not worker-local
     state, so injected faults keyed on "attempt N" stay deterministic
     across pool rebuilds (a respawned worker has no memory).
+
+    ``obs_ctx`` is the supervisor's trace context (or None when
+    observability is off): adopting it makes the worker's
+    ``worker.attempt`` span land in the same events sidecar, nested
+    under the job's ``engine.job`` submit span.
     """
     from repro.devtools import faults
 
-    faults.maybe_inject("worker", key=key, attempt=attempt)
-    return execute(job)
+    with obs.adopt(obs_ctx):
+        with obs.span("worker.attempt", key=key, attempt=attempt):
+            faults.maybe_inject("worker", key=key, attempt=attempt)
+            return execute(job)
 
 
 @dataclass
@@ -173,12 +181,23 @@ def run_jobs(
                     "quarantined (inspect with `repro campaign quarantine`)"
                 )
                 report.quarantined.append(key)
+                # Mirror of report.quarantined: replaying the events log
+                # must reproduce the report's counts exactly.
+                obs.event("job.quarantined", key=key, already=True)
         elif key not in pending:
             pending[key] = _JobState(job)
 
-    def finish(key: str, job, record) -> None:
+    def finish(key: str, job, record, elapsed: float = 0.0) -> None:
         store.add(key, record, job=job)
         report.executed += 1
+        obs.event(
+            "job.completed",
+            key=key,
+            elapsed_s=round(elapsed, 6),
+            scheme=getattr(job, "scheme", None),
+        )
+        obs.counter("engine.jobs.completed")
+        obs.histogram("engine.job_s", elapsed)
         if progress is not None:
             progress(key, job)
 
@@ -189,12 +208,27 @@ def run_jobs(
                 key, state.job, state.attempts, state.interruptions
             )
             report.quarantined.append(key)
+            obs.event(
+                "job.quarantined",
+                key=key,
+                error=repr(exc),
+                attempts=len(state.attempts),
+            )
+            obs.counter("engine.jobs.quarantined")
 
     def charge(
         key: str, state: _JobState, kind: str, exc: BaseException, elapsed: float
     ) -> bool:
         """Record one failed attempt; True if the job may retry."""
         state.charge(kind, repr(exc), elapsed)
+        obs.event(
+            "job.attempt-failed",
+            key=key,
+            kind=kind,
+            attempt=len(state.attempts),
+            elapsed_s=round(elapsed, 6),
+            error=repr(exc),
+        )
         if len(state.attempts) >= policy.max_attempts:
             return False
         state.ready_at = clock() + policy.delay(key, len(state.attempts))
@@ -205,13 +239,21 @@ def run_jobs(
             while True:
                 if state.submissions:
                     report.retried += 1
+                    obs.event(
+                        "job.retry", key=key, attempt=len(state.attempts) + 1
+                    )
+                    obs.counter("engine.jobs.retried")
                 state.submissions += 1
+                handle = obs.start_span(
+                    "engine.job", key=key, attempt=len(state.attempts) + 1
+                )
                 t0 = clock()
                 try:
                     record = _call_job(
                         execute, state.job, key, len(state.attempts) + 1
                     )
                 except Exception as exc:  # noqa: BLE001 - reported per job
+                    handle.end(outcome="failed", error=repr(exc))
                     if charge(key, state, "error", exc, clock() - t0):
                         sleep(max(0.0, state.ready_at - clock()))
                         continue
@@ -219,7 +261,8 @@ def run_jobs(
                     if strict:
                         raise
                     break
-                finish(key, state.job, record)
+                handle.end(outcome="completed")
+                finish(key, state.job, record, clock() - t0)
                 break
         return report
 
@@ -264,6 +307,7 @@ def _run_pooled(
     suspects: set[str] = set()
     inflight: dict = {}  # future -> key
     started: dict = {}  # future -> submit time
+    spans: dict = {}  # future -> engine.job span handle
     pool = ProcessPoolExecutor(max_workers=workers)
 
     def handle_failure(
@@ -277,6 +321,13 @@ def _run_pooled(
         state = pending[key]
         if charge(key, state, kind, exc, elapsed):
             report.retried += 1
+            obs.event(
+                "job.retry",
+                key=key,
+                kind=kind,
+                attempt=len(state.attempts) + 1,
+            )
+            obs.counter("engine.jobs.retried")
             waiting[key] = None
             if suspect:
                 # A known crasher/hanger re-runs alone so it cannot
@@ -290,6 +341,9 @@ def _run_pooled(
         """Resubmit a collaterally interrupted job as a suspect."""
         state = pending[key]
         state.interruptions += 1
+        obs.event(
+            "job.interrupted", key=key, interruptions=state.interruptions
+        )
         if state.interruptions > interruption_cap:
             exc: BaseException = RuntimeError(
                 f"worker pool broke {state.interruptions} times while this "
@@ -298,6 +352,13 @@ def _run_pooled(
             exhaust(key, state, exc)
             return exc if strict else None
         report.retried += 1
+        obs.event(
+            "job.retry",
+            key=key,
+            kind="interrupted",
+            attempt=len(state.attempts) + 1,
+        )
+        obs.counter("engine.jobs.retried")
         suspects.add(key)
         waiting[key] = None
         return None
@@ -320,6 +381,9 @@ def _run_pooled(
                 state = pending[key]
                 if state.ready_at > now:
                     continue
+                handle = obs.start_span(
+                    "engine.job", key=key, attempt=len(state.attempts) + 1
+                )
                 try:
                     fut = pool.submit(
                         _call_job,
@@ -327,14 +391,17 @@ def _run_pooled(
                         state.job,
                         key,
                         len(state.attempts) + 1,
+                        obs.current_context(parent=handle.span_id),
                     )
                 except BrokenProcessPool:
+                    handle.end(outcome="submit-broken")
                     broken = True
                     break
                 state.submissions += 1
                 del waiting[key]
                 inflight[fut] = key
                 started[fut] = now
+                spans[fut] = handle
                 if suspects:
                     break  # exactly one suspect in flight
 
@@ -365,28 +432,38 @@ def _run_pooled(
                 for fut in done:
                     key = inflight.pop(fut)
                     t0 = started.pop(fut)
+                    handle = spans.pop(fut)
                     state = pending[key]
                     try:
                         record = fut.result()
                     except BrokenProcessPool:
                         # Attribution is decided per breakage event,
                         # once every victim is known (below).
+                        handle.end(outcome="pool-broken")
                         broken = True
                         victims.append((key, t0))
                     except Exception as exc:  # noqa: BLE001 - reported per job
+                        handle.end(outcome="failed", error=repr(exc))
                         suspects.discard(key)
                         fatal = fatal or handle_failure(
                             key, "error", exc, now - t0
                         )
                     else:
+                        handle.end(outcome="completed")
                         suspects.discard(key)
-                        finish(key, state.job, record)
+                        finish(key, state.job, record, now - t0)
 
                 if fatal is None and not broken and job_timeout is not None:
                     for fut in list(inflight):
                         if now - started[fut] >= job_timeout:
                             key = inflight.pop(fut)
                             t0 = started.pop(fut)
+                            spans.pop(fut).end(outcome="timeout")
+                            obs.event(
+                                "job.timeout-kill",
+                                key=key,
+                                timeout_s=job_timeout,
+                            )
                             suspects.discard(key)
                             fatal = fatal or handle_failure(
                                 key,
@@ -407,10 +484,9 @@ def _run_pooled(
                             break
 
             if broken:
-                victims.extend(
-                    (inflight.pop(fut), started.pop(fut))
-                    for fut in list(inflight)
-                )
+                for fut in list(inflight):
+                    spans.pop(fut).end(outcome="pool-broken")
+                    victims.append((inflight.pop(fut), started.pop(fut)))
                 if not attributed and len(victims) == 1 and fatal is None:
                     # Exactly one job was in flight when the pool died:
                     # the crash is attributable, charge it.
@@ -436,6 +512,8 @@ def _run_pooled(
             if fatal is not None:
                 raise fatal
     finally:
+        for handle in spans.values():
+            handle.end(outcome="aborted")  # idempotent for ended spans
         if fatal is not None or waiting or inflight:
             # Abnormal exit: cancel queued futures and kill running
             # workers so no zombie processes outlive the raise.

@@ -234,9 +234,13 @@ def _execute_mix(job: Job) -> dict:
 
 def execute_job(job: Job) -> dict:
     """Run one job and return its result record."""
+    from repro import obs
     from repro.devtools import faults
 
-    faults.maybe_inject("execute", key=job.key())
-    if job.kind == "mix":
-        return _execute_mix(job)
-    return _execute_single(job)
+    with obs.span(
+        "job.execute", key=job.key(), kind=job.kind, scheme=job.scheme
+    ):
+        faults.maybe_inject("execute", key=job.key())
+        if job.kind == "mix":
+            return _execute_mix(job)
+        return _execute_single(job)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro import obs
 from repro.exp.campaign import Campaign
 from repro.exp.engine import RunReport, run_jobs
 from repro.exp.execute import execute_job
@@ -66,23 +67,58 @@ def run_campaign(
         store = ResultStore(store)
     if quarantine is None:
         quarantine = Quarantine(quarantine_path_for(store.path))
-    return run_jobs(
-        campaign.jobs(),
-        execute_job,
-        store=store,
-        workers=workers,
-        strict=strict,
-        progress=progress,
-        retry=retry,
-        job_timeout=job_timeout,
-        quarantine=quarantine,
-    )
+    # Campaigns trace by default into the <store>.events.jsonl sidecar
+    # (REPRO_OBS=0 opts out; an already-active session wins outright) —
+    # that is what `campaign status` and `obs report` read back.
+    with obs.session(path=obs.events_path_for(store.path)):
+        with obs.span(
+            "campaign.run",
+            campaign=campaign.name,
+            workers=workers,
+        ) as campaign_span:
+            report = run_jobs(
+                campaign.jobs(),
+                execute_job,
+                store=store,
+                workers=workers,
+                strict=strict,
+                progress=progress,
+                retry=retry,
+                job_timeout=job_timeout,
+                quarantine=quarantine,
+            )
+            campaign_span.note(
+                executed=report.executed,
+                skipped=report.skipped,
+                retried=report.retried,
+                quarantined=len(report.quarantined),
+            )
+    return report
+
+
+def _timing_rollups(events_path: Path) -> dict[str, dict[str, float | int]]:
+    """Per-scheme duration percentiles from the events sidecar, if any.
+
+    Returns ``{scheme: {"jobs": n, "p50_s": ..., "p95_s": ...}}`` from
+    the ``job.completed`` events a traced campaign leaves behind, or an
+    empty dict when the campaign ran untraced.
+    """
+    if not events_path.exists():
+        return {}
+    from repro.obs.report import load_events, rollup
+
+    return dict(rollup(load_events(events_path)).get("schemes", {}))
 
 
 def campaign_status(
     campaign: Campaign, store: ResultStore | str | Path
 ) -> dict:
-    """Completion summary: total/done/pending, plus a per-scheme split."""
+    """Completion summary: total/done/pending, plus a per-scheme split.
+
+    When the campaign ran traced (the default), the events sidecar adds
+    per-scheme wall-clock rollups under ``"timings"`` — duration p50 and
+    p95 over every completed job the log has seen.
+    """
     if not isinstance(store, ResultStore):
         store = ResultStore(store)
     quarantine = Quarantine(quarantine_path_for(store.path))
@@ -108,4 +144,5 @@ def campaign_status(
         "pending": len(jobs) - n_done,
         "quarantined": n_quarantined,
         "per_scheme": per_scheme,
+        "timings": _timing_rollups(obs.events_path_for(store.path)),
     }

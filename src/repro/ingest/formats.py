@@ -29,11 +29,14 @@ from __future__ import annotations
 import hashlib
 import io
 import json
+import time
 import zipfile
 from pathlib import Path
 from typing import Callable, Iterator
 
 import numpy as np
+
+from repro import obs
 
 from repro.ingest.source import (
     DEFAULT_CHUNK_RECORDS,
@@ -613,6 +616,8 @@ class RTraceSource:
             for c in range(self.n_chunks):
                 lname = f"chunk_{c:06d}.lines.npy"
                 rname = f"chunk_{c:06d}.regions.npy"
+                traced = obs.enabled()
+                t0 = time.perf_counter() if traced else 0.0
                 lines = regions = None
                 if mapped is not None:
                     try:
@@ -625,6 +630,17 @@ class RTraceSource:
                         zf = zipfile.ZipFile(self.path)
                     lines = self._load_member(zf, lname)
                     regions = self._load_member(zf, rname)
+                if traced:
+                    dt = time.perf_counter() - t0
+                    nbytes = int(lines.nbytes) + int(regions.nbytes)
+                    obs.histogram("ingest.chunk_decode_s", dt)
+                    obs.event(
+                        "ingest.chunk_decoded",
+                        chunk=c,
+                        nbytes=nbytes,
+                        bytes_per_s=round(nbytes / dt) if dt > 0 else None,
+                        mapped=mapped is not None and zf is None,
+                    )
                 if len(lines) != len(regions):
                     raise ValueError(
                         f"{self.path}: chunk {c} has mismatched "

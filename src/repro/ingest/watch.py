@@ -27,6 +27,7 @@ from typing import Callable, Iterator, TextIO
 
 import numpy as np
 
+from repro import obs
 from repro.ingest.formats import _LACKEY_DATA_OPS, _parse_int
 from repro.ingest.source import IterableSource, TraceChunk
 from repro.retry import call_with_retries
@@ -109,11 +110,22 @@ def follow_lines(
             current.close()
             holder["stream"] = fresh
             owns_stream = True
+            obs.event(
+                "watch.rotation", path=site_key, high_water=high_water
+            )
+            obs.counter("watch.rotations")
             high_water = 0
             return True
         if disk.st_size < high_water:
             # Truncated in place: everything re-written from offset 0.
             current.seek(0)
+            obs.event(
+                "watch.truncation",
+                path=site_key,
+                high_water=high_water,
+                size=disk.st_size,
+            )
+            obs.counter("watch.truncations")
             high_water = disk.st_size
             return True
         high_water = max(high_water, disk.st_size)

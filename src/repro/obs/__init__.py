@@ -1,0 +1,66 @@
+"""repro.obs — structured tracing and metrics for the whole pipeline.
+
+Usage sketch::
+
+    from repro import obs
+
+    with obs.session(path="campaign.events.jsonl"):
+        with obs.span("engine.job", key=key):
+            obs.counter("jobs.completed")
+
+All helpers are true no-ops while observability is disabled (the
+default); see :mod:`repro.obs.core` for the span model and
+:mod:`repro.obs.report` for reading event logs back.
+"""
+
+from repro.obs.core import (
+    ENV_VAR,
+    MetricRegistry,
+    ObsState,
+    SpanHandle,
+    adopt,
+    counter,
+    current_context,
+    disable,
+    enable,
+    enabled,
+    event,
+    gauge,
+    get_registry,
+    histogram,
+    session,
+    span,
+    start_span,
+)
+from repro.obs.sinks import (
+    JsonlSink,
+    MemorySink,
+    Sink,
+    StderrSummarySink,
+    events_path_for,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "JsonlSink",
+    "MemorySink",
+    "MetricRegistry",
+    "ObsState",
+    "Sink",
+    "SpanHandle",
+    "StderrSummarySink",
+    "adopt",
+    "counter",
+    "current_context",
+    "disable",
+    "enable",
+    "enabled",
+    "event",
+    "events_path_for",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "session",
+    "span",
+    "start_span",
+]

@@ -1,0 +1,130 @@
+"""Event sinks: where emitted observability records go.
+
+Three sinks cover the repo's needs:
+
+- :class:`JsonlSink` — the campaign sidecar (``<stem>.events.jsonl``),
+  append-only in the house style (one flushed JSON line per event, like
+  :class:`~repro.exp.store.ResultStore` and the quarantine sidecar).
+  Every record is written and flushed immediately, so an ``os._exit``
+  fault-injection crash still leaves its last events on disk — that is
+  what makes chaos runs reconstructable from the log.
+- :class:`MemorySink` — an in-process list, for tests and for replay
+  equality checks against the :class:`~repro.obs.core.MetricRegistry`.
+- :class:`StderrSummarySink` — an opt-in live summary: counts events as
+  they pass and prints an aggregate table to stderr on close.
+
+Multiple processes may append to one ``JsonlSink`` path concurrently
+(the engine's pool workers adopt the supervisor's sink path); each
+event is a single short ``write`` of a full line in append mode, which
+POSIX appends keep un-torn in practice, and the reader side
+(:func:`repro.obs.report.load_events`) skips any corrupt line rather
+than failing the replay.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import IO, Protocol
+
+__all__ = [
+    "JsonlSink",
+    "MemorySink",
+    "Sink",
+    "StderrSummarySink",
+    "events_path_for",
+]
+
+
+def events_path_for(store_path: str | Path) -> Path:
+    """The events sidecar for a ResultStore path (``s.jsonl`` -> ``s.events.jsonl``)."""
+    path = Path(store_path)
+    return path.with_name(f"{path.stem}.events.jsonl")
+
+
+class Sink(Protocol):
+    """Anything that can receive emitted observability records."""
+
+    def emit(self, record: dict) -> None:
+        """Deliver one event record."""
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+
+
+class MemorySink:
+    """Collect events in a list (tests, replay-equality checks)."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+
+    def emit(self, record: dict) -> None:
+        self.events.append(record)
+
+    def close(self) -> None:
+        return None
+
+
+class JsonlSink:
+    """Append events to a JSON-lines file, one flushed line per event."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh: IO[str] | None = None
+
+    def emit(self, record: dict) -> None:
+        fh = self._fh
+        if fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fh = self._fh = open(self.path, "a", encoding="utf-8")
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+        # Flush per event: a crashed (os._exit) worker must leave every
+        # event it emitted on disk, or the chaos log cannot replay.
+        fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            finally:
+                self._fh = None
+
+
+class StderrSummarySink:
+    """Aggregate events live and print a summary on close (opt-in)."""
+
+    def __init__(self, out: IO[str] | None = None) -> None:
+        self.out = out if out is not None else sys.stderr
+        self._events = 0
+        self._span_s: dict[str, tuple[int, float]] = {}
+        self._counters: dict[str, float] = {}
+        self._faults = 0
+
+    def emit(self, record: dict) -> None:
+        self._events += 1
+        kind = record.get("kind")
+        name = str(record.get("name", "?"))
+        if kind == "span-end":
+            n, total = self._span_s.get(name, (0, 0.0))
+            self._span_s[name] = (n + 1, total + float(record.get("dur_s", 0.0)))
+        elif kind == "metric" and record.get("metric") == "counter":
+            self._counters[name] = self._counters.get(name, 0.0) + float(
+                record.get("value", 0.0)
+            )
+        elif kind == "event" and name == "fault.injected":
+            self._faults += 1
+
+    def close(self) -> None:
+        out = self.out
+        print(f"[obs] {self._events} events", file=out)
+        for name, (n, total) in sorted(
+            self._span_s.items(), key=lambda kv: -kv[1][1]
+        ):
+            print(
+                f"[obs]   span {name}: {n}x, {total:.3f}s total", file=out
+            )
+        for name, value in sorted(self._counters.items()):
+            print(f"[obs]   counter {name}: {value:g}", file=out)
+        if self._faults:
+            print(f"[obs]   faults injected: {self._faults}", file=out)

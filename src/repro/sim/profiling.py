@@ -21,6 +21,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.curves.miss_curve import MissCurve
 from repro.curves.reuse import StackDistanceProfiler
 from repro.store.profiles import FORMAT_VERSION, load_profile
@@ -185,7 +186,9 @@ def profile_vcs(
         )
         cached = _load(key, chunk_bytes, n_intervals)
         if cached is not None:
+            obs.counter("profile_cache.hit")
             return cached
+        obs.counter("profile_cache.miss")
 
     # Relabel the trace's regions with VC ids.
     vc_ids = relabel_regions(trace.regions, mapping)
@@ -195,9 +198,12 @@ def profile_vcs(
         line_bytes=trace.line_bytes,
         sample_shift=sample_shift,
     )
-    curves = profiler.profile(
-        trace.lines, vc_ids, trace.instructions, n_intervals=n_intervals
-    )
+    with obs.span(
+        "profile.curves", n_intervals=n_intervals, n_chunks=n_chunks
+    ):
+        curves = profiler.profile(
+            trace.lines, vc_ids, trace.instructions, n_intervals=n_intervals
+        )
     if use_cache and key is not None:
         _store(
             key,

@@ -37,6 +37,7 @@ import time
 from pathlib import Path
 from typing import Callable, Iterator
 
+from repro import obs
 from repro.version import __version__
 
 __all__ = [
@@ -263,6 +264,15 @@ class ArtifactStore:
         not reclaimed).  Returns a report of what was (or would be)
         removed.
         """
+        with obs.span("store.gc", dry_run=dry_run) as sp:
+            report = self._gc(dry_run)
+            sp.note(
+                removed=len(report["removed"]),
+                reclaimed_bytes=report["reclaimed_bytes"],
+            )
+            return report
+
+    def _gc(self, dry_run: bool) -> dict:
         removed: list[str] = []
         reclaimed = 0
         unprovenanced: list[str] = []
@@ -328,6 +338,12 @@ class ArtifactStore:
         bindings must point at existing artifacts.  Returns ``{"ok":
         [...], "bad": {artifact: reason}}``.
         """
+        with obs.span("store.verify") as sp:
+            result = self._verify()
+            sp.note(ok=len(result["ok"]), bad=len(result["bad"]))
+            return result
+
+    def _verify(self) -> dict:
         ok: list[str] = []
         bad: dict[str, str] = {}
         for kind, fingerprint, path in self.artifacts():
@@ -358,6 +374,12 @@ class ArtifactStore:
         apply.  Content fingerprints are invariant to zip compression,
         so keys and provenance stay valid.  Returns the rewritten list.
         """
+        with obs.span("store.compact", dry_run=dry_run) as sp:
+            report = self._compact(dry_run)
+            sp.note(rewritten=len(report["rewritten"]))
+            return report
+
+    def _compact(self, dry_run: bool) -> dict:
         import zipfile
 
         rewritten: list[str] = []

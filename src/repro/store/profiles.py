@@ -109,6 +109,7 @@ def load_profile(
     shared mapping (N workers share one page-cache copy); compressed or
     foreign files fall back to ``np.load`` and, failing that, ``None``.
     """
+    from repro import obs
     from repro.devtools import faults
     from repro.retry import call_with_retries
 
@@ -129,6 +130,7 @@ def load_profile(
         except (OSError, ValueError, zipfile.BadZipFile):
             arrays = None
         if arrays is not None:
+            obs.counter("store.load.mmap")
             return decode_payload(arrays, chunk_bytes, n_intervals)
 
     def read_npz() -> Any:
@@ -139,6 +141,7 @@ def load_profile(
         data = call_with_retries(read_npz, key=str(path))
     except (OSError, ValueError, zipfile.BadZipFile):
         return None
+    obs.counter("store.load.npz_fallback")
     return decode_payload(data, chunk_bytes, n_intervals)
 
 

@@ -28,6 +28,8 @@ from repro.exp import (
     quarantine_path_for,
     run_campaign,
 )
+from repro.obs import events_path_for
+from repro.obs.report import load_events, rollup
 from repro.retry import RetryPolicy
 
 SEEDS = [101, 202, 303]
@@ -205,6 +207,125 @@ class TestPoisonQuarantine:
         # Fully converged: quarantine empty, store equals fault-free.
         assert len(Quarantine(quarantine_path_for(path))) == 0
         assert sorted(path.read_text().splitlines()) == baseline
+
+
+class TestChaosEventLog:
+    """The events sidecar must tell the chaos story, exactly.
+
+    A campaign run writes ``<store>.events.jsonl`` by default; after a
+    poison-crasher run the log alone must reconstruct the full
+    retry -> crash-attribution -> quarantine narrative (every injected
+    fault, every charged ``worker-crash`` attempt, the quarantine
+    verdict), and its rollup must reproduce the RunReport's counts —
+    including events emitted by workers that ``os._exit`` crashed
+    immediately afterwards.
+    """
+
+    def _poison_run(self, tmp_path, monkeypatch):
+        jobs = chaos_campaign().jobs()
+        poison_key = jobs[0].key()
+        plan = json.dumps(
+            {
+                "seed": 0,
+                "rules": [
+                    {
+                        "site": "worker",
+                        "mode": "crash",
+                        "attempts": [1, 2, 3, 4],
+                        "match": poison_key,
+                    }
+                ],
+            }
+        )
+        monkeypatch.setenv(faults.ENV_VAR, plan)
+        path = tmp_path / "store.jsonl"
+        report = run_campaign(
+            chaos_campaign(),
+            ResultStore(path),
+            workers=2,
+            strict=False,
+            retry=_policy(0),
+        )
+        return poison_key, path, report
+
+    def test_event_log_reconstructs_poison_story(
+        self, tmp_path, monkeypatch
+    ):
+        poison_key, path, report = self._poison_run(tmp_path, monkeypatch)
+        assert report.quarantined == [poison_key]
+        events = load_events(events_path_for(path))
+
+        def for_poison(kind, name):
+            return [
+                e
+                for e in events
+                if e.get("kind") == kind
+                and e.get("name") == name
+                and e.get("fields", {}).get("key") == poison_key
+            ]
+
+        # Every injected fault is on record — one per execution the
+        # poison job actually got, each emitted by a worker that died
+        # by os._exit right after (the flush-per-line guarantee).
+        injected = [
+            e
+            for e in events
+            if e.get("name") == "fault.injected"
+            and e.get("fields", {}).get("key") == poison_key
+        ]
+        attempts_started = for_poison("span-start", "worker.attempt")
+        assert len(injected) == len(attempts_started) >= 4
+        assert all(
+            e["fields"]["site"] == "worker"
+            and e["fields"]["mode"] == "crash"
+            for e in injected
+        )
+
+        # Crash attribution: exactly max_attempts charged attempts,
+        # every one attributed to a worker crash.
+        charged = for_poison("event", "job.attempt-failed")
+        assert len(charged) == 4
+        assert all(e["fields"]["kind"] == "worker-crash" for e in charged)
+
+        # The verdict: one quarantine event, after the final charge,
+        # recording the full attempt history.
+        quarantined = for_poison("event", "job.quarantined")
+        assert len(quarantined) == 1
+        assert quarantined[0]["fields"]["attempts"] == 4
+        assert events.index(quarantined[0]) > events.index(charged[-1])
+
+        # Retries in the log match the story: attempts 2..4 re-ran.
+        retries = for_poison("event", "job.retry")
+        assert len(retries) >= 3
+
+        # Healthy jobs completed normally, on record.
+        completed_keys = {
+            e["fields"]["key"]
+            for e in events
+            if e.get("name") == "job.completed"
+        }
+        assert poison_key not in completed_keys
+        assert len(completed_keys) == report.executed
+
+    def test_rollup_replays_run_report_counts(self, tmp_path, monkeypatch):
+        poison_key, path, report = self._poison_run(tmp_path, monkeypatch)
+        summary = rollup(load_events(events_path_for(path)))
+        # The acceptance invariant: replaying the sidecar reproduces
+        # the RunReport's counts exactly.
+        assert summary["jobs"] == {
+            "completed": report.executed,
+            "retried": report.retried,
+            "quarantined": len(report.quarantined),
+        }
+        # And the counter metrics agree with the lifecycle events.
+        counters = summary["metrics"]["counters"]
+        assert counters.get("engine.jobs.completed", 0) == report.executed
+        assert counters.get("engine.jobs.retried", 0) == report.retried
+        assert counters.get("engine.jobs.quarantined", 0) == len(
+            report.quarantined
+        )
+        # The poison job shows up as the lone retry storm.
+        assert poison_key in {s["key"] for s in summary["retry_storms"]}
 
 
 class TestChaosReport:

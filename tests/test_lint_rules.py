@@ -426,6 +426,90 @@ def test_packed_word_dtype_accepts_wide_and_python_ints(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# obs-span-pairing
+# ----------------------------------------------------------------------
+OBS_BAD = {
+    "src/svc.py": """\
+        from repro import obs
+
+        def unentered(job):
+            obs.span("engine.job", key=job)  # never entered
+
+        def discarded(job):
+            obs.start_span("submit", key=job)  # handle dropped
+
+        def never_ended(job):
+            handle = obs.start_span("submit", key=job)
+            return handle
+        """
+}
+
+OBS_OK = {
+    "src/svc.py": """\
+        from repro import obs
+
+        def traced(job):
+            with obs.span("engine.job", key=job):
+                return 1
+
+        def split(job):
+            handle = obs.start_span("submit", key=job)
+            handle.end(outcome="completed")
+        """
+}
+
+OBS_MANIFEST = """
+[obs]
+instrumented = ["src/svc.py"]
+"""
+
+
+def test_obs_span_pairing_flags_broken_pairs(tmp_path):
+    root, m = make_tree(tmp_path, OBS_BAD, "")
+    findings = run(root, m, ["obs-span-pairing"])
+    messages = " | ".join(f.message for f in findings)
+    assert len(findings) == 3
+    assert "outside a `with` statement" in messages
+    assert "handle discarded" in messages
+    assert "no handle .end()" in messages
+
+
+def test_obs_span_pairing_clean(tmp_path):
+    root, m = make_tree(tmp_path, OBS_OK, OBS_MANIFEST)
+    assert run(root, m, ["obs-span-pairing"]) == []
+
+
+def test_obs_span_pairing_bare_import_alias(tmp_path):
+    files = {
+        "src/svc.py": """\
+            from repro.obs import span
+
+            def unentered():
+                span("x")
+            """
+    }
+    root, m = make_tree(tmp_path, files, "")
+    findings = run(root, m, ["obs-span-pairing"])
+    assert len(findings) == 1
+    assert "span(...) outside" in findings[0].message
+
+
+def test_obs_manifest_flags_stripped_instrumentation(tmp_path):
+    files = {"src/svc.py": "def f():\n    return 1\n"}
+    root, m = make_tree(tmp_path, files, OBS_MANIFEST)
+    findings = run(root, m, ["obs-span-pairing"])
+    assert len(findings) == 1
+    assert "no longer imports repro.obs" in findings[0].message
+
+
+def test_obs_manifest_flags_missing_module(tmp_path):
+    root, m = make_tree(tmp_path, {"src/other.py": "x = 1\n"}, OBS_MANIFEST)
+    findings = run(root, m, ["obs-span-pairing"])
+    assert len(findings) == 1
+    assert "missing from the tree" in findings[0].message
+
+
+# ----------------------------------------------------------------------
 # suppression, schema, explain, framework
 # ----------------------------------------------------------------------
 def test_noqa_suppresses_specific_rule(tmp_path):
